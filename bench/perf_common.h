@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared helpers for the performance benches (Figs. 10-14, Table 5):
+ * configuration builders for each evaluated design, and a parallel
+ * run-matrix executor (each System is fully independent, so suite
+ * entries and configs fan out across hardware threads).
+ */
+
+#ifndef PRACLEAK_BENCH_PERF_COMMON_H
+#define PRACLEAK_BENCH_PERF_COMMON_H
+
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpu/system.h"
+#include "tprac/analysis.h"
+#include "tprac/tb_rfm.h"
+#include "workload/suite.h"
+
+namespace pracleak::bench {
+
+/** Design variants evaluated in the paper's performance section. */
+struct DesignConfig
+{
+    std::string label;
+    MitigationMode mode = MitigationMode::NoMitigation;
+    std::uint32_t nbo = 1024;       //!< NBO = NRH proxy (see DESIGN.md)
+    std::uint32_t nmit = 1;         //!< PRAC level
+    std::uint32_t trefPeriodRefs = 0;   //!< 0 = no TREF
+    bool counterReset = true;
+};
+
+/** Instruction budgets for bench runs (scaled-down from the paper). */
+struct RunBudget
+{
+    std::uint64_t warmup = 50'000;
+    std::uint64_t measure = 250'000;
+};
+
+inline SystemConfig
+makeSystemConfig(const DesignConfig &design, const RunBudget &budget)
+{
+    SystemConfig config;
+    config.spec = DramSpec::ddr5_8000b();
+    config.spec.prac.nbo = design.nbo;
+    config.spec.prac.nmit = design.nmit;
+    config.warmupInstrs = budget.warmup;
+    config.measureInstrs = budget.measure;
+
+    config.mem.mode = design.mode;
+    config.mem.prac.queue = QueueKind::SingleEntry;
+    config.mem.prac.counterResetAtTrefw = design.counterReset;
+    config.mem.prac.trefPeriodRefs = design.trefPeriodRefs;
+
+    const FeintingParams fp = FeintingParams::fromSpec(config.spec);
+    if (design.mode == MitigationMode::AboAcb) {
+        config.mem.bat = std::max<std::uint32_t>(
+            16, maxSafeBat(design.nbo, design.counterReset, fp));
+    }
+    if (design.mode == MitigationMode::Tprac) {
+        config.mem.tbRfm = TbRfmConfig::forNbo(
+            design.nbo, design.counterReset, config.spec,
+            design.trefPeriodRefs != 0);
+    }
+    return config;
+}
+
+/** One (workload, design) run. */
+inline RunResult
+runOne(const SuiteEntry &entry, const DesignConfig &design,
+       const RunBudget &budget, std::uint32_t cores = 4)
+{
+    System system(makeSystemConfig(design, budget),
+                  instantiate(entry, cores));
+    return system.run();
+}
+
+/** Execute a batch of independent jobs across hardware threads. */
+template <typename T>
+std::vector<T>
+runParallel(std::vector<std::function<T()>> jobs)
+{
+    const unsigned max_threads =
+        std::max(2u, std::thread::hardware_concurrency());
+    std::vector<T> results(jobs.size());
+    std::size_t next = 0;
+    while (next < jobs.size()) {
+        const std::size_t batch =
+            std::min<std::size_t>(max_threads, jobs.size() - next);
+        std::vector<std::future<T>> futures;
+        futures.reserve(batch);
+        for (std::size_t i = 0; i < batch; ++i)
+            futures.push_back(
+                std::async(std::launch::async, jobs[next + i]));
+        for (std::size_t i = 0; i < batch; ++i)
+            results[next + i] = futures[i].get();
+        next += batch;
+    }
+    return results;
+}
+
+/**
+ * Run every suite entry under @p design and the matching baseline,
+ * returning per-entry normalized performance (weighted speedup).
+ */
+struct EntryPerf
+{
+    std::string name;
+    MemIntensity intensity;
+    double normalized;
+    RunResult result;
+};
+
+inline std::vector<EntryPerf>
+runSuiteNormalized(const std::vector<SuiteEntry> &entries,
+                   const DesignConfig &design, const RunBudget &budget)
+{
+    DesignConfig baseline = design;
+    baseline.label = "baseline";
+    baseline.mode = MitigationMode::NoMitigation;
+
+    std::vector<std::function<std::pair<RunResult, RunResult>()>> jobs;
+    for (const SuiteEntry &entry : entries) {
+        jobs.push_back([entry, design, baseline, budget] {
+            return std::make_pair(runOne(entry, baseline, budget),
+                                  runOne(entry, design, budget));
+        });
+    }
+    auto pairs = runParallel(std::move(jobs));
+
+    std::vector<EntryPerf> out;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EntryPerf perf;
+        perf.name = entries[i].params.name;
+        perf.intensity = entries[i].intensity;
+        perf.normalized =
+            normalizedPerf(pairs[i].second, pairs[i].first);
+        perf.result = std::move(pairs[i].second);
+        out.push_back(std::move(perf));
+    }
+    return out;
+}
+
+/** Geometric-free mean of normalized performance. */
+inline double
+meanNormalized(const std::vector<EntryPerf> &perfs)
+{
+    if (perfs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &perf : perfs)
+        sum += perf.normalized;
+    return sum / static_cast<double>(perfs.size());
+}
+
+} // namespace pracleak::bench
+
+#endif // PRACLEAK_BENCH_PERF_COMMON_H

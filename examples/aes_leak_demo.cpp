@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Example: recover half of an AES-128 key through the PRACLeak
+ * side channel, byte position by byte position.
+ *
+ *   $ ./build/examples/aes_leak_demo
+ *
+ * A victim process encrypts attacker-chosen plaintexts with a secret
+ * key using a T-table AES whose first table shares 16 DRAM rows with
+ * the attacker.  For each key byte the attacker fixes the
+ * corresponding plaintext byte, lets the victim run 200 encryptions,
+ * then probes the rows one activation at a time; the row whose
+ * activation triggers the Alert Back-Off RFM reveals the top nibble
+ * of that key byte.
+ *
+ * (The library models byte position 0; positions 1..15 are the same
+ * experiment with p_i fixed instead -- here we demonstrate position 0
+ * for a handful of random keys.)
+ */
+
+#include <cstdio>
+
+#include "attack/side_channel.h"
+#include "common/rng.h"
+
+using namespace pracleak;
+
+int
+main()
+{
+    Rng rng(0xA25);
+
+    std::printf("PRACLeak AES side channel: recovering the top "
+                "nibble of key byte 0\n");
+    std::printf("%-4s %-10s %-10s %-8s\n", "try", "true k0",
+                "recovered", "status");
+
+    int recovered = 0;
+    const int trials = 6;
+    for (int t = 0; t < trials; ++t) {
+        Aes128T::Key key;
+        for (auto &byte : key)
+            byte = static_cast<std::uint8_t>(rng.range(256));
+
+        SideChannelParams params;
+        params.key = key;
+        params.p0 = 0;
+        params.encryptions = 200;
+        params.seed = 777 + t;
+
+        const SideChannelResult result =
+            runAesSideChannelMajority(params, 3);
+        const bool ok =
+            result.recoveredKeyNibble == (key[0] >> 4);
+        recovered += ok;
+        std::printf("%-4d 0x%02x       0x%x?       %-8s\n", t, key[0],
+                    result.recoveredKeyNibble, ok ? "leaked" : "miss");
+    }
+
+    std::printf("\n%d/%d top nibbles recovered in <= 600 encryptions "
+                "each.\n", recovered, trials);
+    std::printf("Repeating over all 16 byte positions leaks 64 of "
+                "the 128 key bits (paper Section 3.3).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build a PRAC-protected DDR5 memory system, run a small
+ * workload on a 4-core system with and without the TPRAC defense, and
+ * print the headline numbers.
+ *
+ *   $ ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cpu/system.h"
+#include "tprac/tb_rfm.h"
+#include "workload/suite.h"
+
+using namespace pracleak;
+
+namespace {
+
+RunResult
+runOnce(MitigationMode mode, std::uint32_t nbo)
+{
+    SystemConfig config;
+    config.spec = DramSpec::ddr5_8000b();
+    config.spec.prac.nbo = nbo;
+    config.mem.mode = mode;
+    if (mode == MitigationMode::Tprac)
+        config.mem.tbRfm = TbRfmConfig::forNbo(nbo, true, config.spec);
+    config.warmupInstrs = 20'000;
+    config.measureInstrs = 200'000;
+
+    // A memory-intensive homogeneous 4-core workload.
+    const SuiteEntry entry = standardSuite().front();
+    System system(config, instantiate(entry, 4));
+    return system.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint32_t kNbo = 1024; // RowHammer threshold proxy
+
+    std::printf("PRACLeak/TPRAC quickstart (NBO = %u)\n", kNbo);
+    std::printf("running baseline (PRAC timings, no mitigation)...\n");
+    const RunResult base = runOnce(MitigationMode::NoMitigation, kNbo);
+    std::printf("running TPRAC (timing-based RFMs)...\n");
+    const RunResult tprac = runOnce(MitigationMode::Tprac, kNbo);
+
+    std::printf("\n%-12s %10s %10s %8s %8s\n", "config", "IPC-sum",
+                "TB-RFMs", "alerts", "RBMPKI");
+    std::printf("%-12s %10.3f %10llu %8llu %8.1f\n", "baseline",
+                base.ipcSum(),
+                static_cast<unsigned long long>(base.tbRfms),
+                static_cast<unsigned long long>(base.alerts),
+                base.rbmpki());
+    std::printf("%-12s %10.3f %10llu %8llu %8.1f\n", "tprac",
+                tprac.ipcSum(),
+                static_cast<unsigned long long>(tprac.tbRfms),
+                static_cast<unsigned long long>(tprac.alerts),
+                tprac.rbmpki());
+
+    const double slowdown = 1.0 - normalizedPerf(tprac, base);
+    std::printf("\nTPRAC slowdown vs. insecure baseline: %.2f%%\n",
+                100.0 * slowdown);
+    std::printf("TPRAC alerts (must be 0 for a closed channel): %llu\n",
+                static_cast<unsigned long long>(tprac.alerts));
+    return 0;
+}

@@ -1,0 +1,147 @@
+#include "attack/agents.h"
+
+namespace pracleak {
+
+// ------------------------------------------------------------ ProbeAgent
+
+ProbeAgent::ProbeAgent(Addr probe_addr, bool record_all)
+    : addr_(probe_addr), recordAll_(record_all)
+{
+}
+
+Cycle
+ProbeAgent::spikeThreshold()
+{
+    // An RFMab blocks the channel for 350 ns; a probe read that would
+    // normally finish in well under 100 ns reports 400+ ns when one is
+    // in flight.  300 ns cleanly separates the two populations.
+    return nsToCycles(300);
+}
+
+void
+ProbeAgent::tick(MemoryController &mem, Cycle)
+{
+    if (inFlight_)
+        return;
+
+    Request req;
+    req.type = ReqType::Read;
+    req.addr = addr_;
+    req.onComplete = [this](const Request &done) {
+        inFlight_ = false;
+        ++completed_;
+        const LatencySample sample{done.completed, done.latency()};
+        if (sample.latency >= spikeThreshold())
+            lastSpikeAt_ = sample.doneAt;
+        if (recordAll_ || sample.latency >= spikeThreshold())
+            samples_.push_back(sample);
+    };
+    if (mem.enqueue(std::move(req)))
+        inFlight_ = true;
+}
+
+bool
+ProbeAgent::spikeSince(Cycle since) const
+{
+    return lastSpikeAt_ != 0 && lastSpikeAt_ >= since;
+}
+
+void
+ProbeAgent::clearSamples()
+{
+    samples_.clear();
+}
+
+// ----------------------------------------------------------- HammerAgent
+
+HammerAgent::HammerAgent(const AddressMapper &mapper,
+                         const DramAddress &target,
+                         std::vector<DramAddress> decoys,
+                         std::uint32_t max_outstanding)
+    : mapper_(mapper), maxOutstanding_(max_outstanding)
+{
+    targetAddr_ = mapper.compose(target);
+    decoyAddrs_.reserve(decoys.size());
+    for (const auto &decoy : decoys)
+        decoyAddrs_.push_back(mapper.compose(decoy));
+}
+
+void
+HammerAgent::startHammer(std::uint32_t target_acts)
+{
+    active_ = true;
+    nextIsTarget_ = true;
+    targetBudget_ = target_acts;
+    targetIssued_ = 0;
+    targetDone_ = 0;
+}
+
+void
+HammerAgent::stop()
+{
+    active_ = false;
+    targetBudget_ = 0;
+}
+
+bool
+HammerAgent::done() const
+{
+    return !active_ ||
+           (targetBudget_ == 0 && outstanding_ == 0);
+}
+
+Addr
+HammerAgent::nextAddress()
+{
+    if (nextIsTarget_) {
+        nextIsTarget_ = false;
+        return targetAddr_;
+    }
+    nextIsTarget_ = true;
+    const Addr addr = decoyAddrs_[decoyIdx_];
+    decoyIdx_ = (decoyIdx_ + 1) % decoyAddrs_.size();
+    return addr;
+}
+
+void
+HammerAgent::tick(MemoryController &mem, Cycle)
+{
+    if (!active_)
+        return;
+
+    while (outstanding_ < maxOutstanding_) {
+        if (targetBudget_ == 0 && nextIsTarget_) {
+            // Burst complete once in-flight reads drain.
+            if (outstanding_ == 0)
+                active_ = false;
+            return;
+        }
+
+        const bool is_target = nextIsTarget_;
+        const Addr addr = nextAddress();
+
+        Request req;
+        req.type = ReqType::Read;
+        req.addr = addr;
+        req.onComplete = [this, is_target](const Request &) {
+            --outstanding_;
+            if (is_target)
+                ++targetDone_;
+        };
+        if (!mem.enqueue(std::move(req))) {
+            // Queue full: undo the sequencing step and retry later.
+            nextIsTarget_ = is_target;
+            if (!is_target)
+                decoyIdx_ = (decoyIdx_ + decoyAddrs_.size() - 1) %
+                            decoyAddrs_.size();
+            return;
+        }
+        ++outstanding_;
+        if (is_target) {
+            --targetBudget_;
+            ++targetIssued_;
+        }
+    }
+}
+
+} // namespace pracleak

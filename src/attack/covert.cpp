@@ -1,0 +1,395 @@
+#include "attack/covert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attack/agents.h"
+#include "attack/harness.h"
+#include "common/log.h"
+#include "tprac/analysis.h"
+
+namespace pracleak {
+
+double
+CovertResult::periodUs() const
+{
+    if (symbolsSent == 0)
+        return 0.0;
+    return cyclesToUs(totalCycles) / static_cast<double>(symbolsSent);
+}
+
+double
+CovertResult::bitrateKbps() const
+{
+    const double period_s = periodUs() * 1e-6;
+    if (period_s <= 0.0)
+        return 0.0;
+    return bitsPerSymbol / period_s / 1000.0;
+}
+
+double
+CovertResult::errorRate() const
+{
+    if (symbolsSent == 0)
+        return 0.0;
+    return static_cast<double>(symbolErrors) /
+           static_cast<double>(symbolsSent);
+}
+
+ControllerConfig
+covertControllerConfig(const CovertParams &params)
+{
+    ControllerConfig config;
+    config.mode = params.mode;
+    config.refreshEnabled = params.refreshEnabled;
+    // The paper's attack evaluation runs on UPRAC, whose idealized
+    // queue mitigates the true per-bank maximum on every RFM.  (A
+    // single-entry queue is empty for the 2nd..4th RFM of an Alert
+    // burst -- nothing activates while the channel is blocked -- so
+    // decoy rows would accumulate stale counts.)
+    config.prac.queue = QueueKind::Ideal;
+    if (params.mode == MitigationMode::AboAcb) {
+        const FeintingParams fp = FeintingParams::fromSpec(params.spec);
+        config.bat = std::max<std::uint32_t>(
+            16, maxSafeBat(params.nbo, true, fp));
+    }
+    if (params.mode == MitigationMode::Tprac) {
+        if (params.tbWindowCycles) {
+            config.tbRfm.windowCycles = params.tbWindowCycles;
+        } else {
+            config.tbRfm =
+                TbRfmConfig::forNbo(params.nbo, true, params.spec);
+        }
+    }
+    if (params.mode == MitigationMode::Obfuscation)
+        config.randomRfmPerTrefi = params.randomRfmPerTrefi;
+    return config;
+}
+
+namespace {
+
+DramSpec
+covertSpec(const CovertParams &params)
+{
+    DramSpec spec = params.spec;
+    spec.prac.nbo = params.nbo;
+    spec.prac.nmit = params.nmit;
+    return spec;
+}
+
+/**
+ * Receiver-side RFM detector.  Probes one row in each of two ranks:
+ * a per-rank refresh delays only one probe, while an RFMab (which
+ * blocks the whole channel) delays both within a tight coincidence
+ * window.  This filters refresh-induced false spikes without any
+ * timing calibration.
+ */
+class RfmDetector : public MemAgent
+{
+  public:
+    explicit RfmDetector(const AddressMapper &mapper)
+    {
+        DramAddress a{0, 0, 0, 3, 0};
+        DramAddress b{1, 0, 0, 3, 0};
+        probeA_ = std::make_unique<ProbeAgent>(mapper.compose(a), false);
+        probeB_ = std::make_unique<ProbeAgent>(mapper.compose(b), false);
+    }
+
+    void
+    tick(MemoryController &mem, Cycle now) override
+    {
+        probeA_->tick(mem, now);
+        probeB_->tick(mem, now);
+    }
+
+    /**
+     * Whether a coincident (channel-wide) spike completed since
+     * @p since: some spike of probe A within 500 ns of some spike of
+     * probe B.  Per-rank refreshes are staggered ~975 ns apart and
+     * never coincide.
+     */
+    bool
+    rfmSince(Cycle since) const
+    {
+        const Cycle window = nsToCycles(500);
+        for (const auto &sa : probeA_->samples()) {
+            if (sa.doneAt < since)
+                continue;
+            for (const auto &sb : probeB_->samples()) {
+                if (sb.doneAt < since)
+                    continue;
+                const Cycle gap = sa.doneAt > sb.doneAt
+                                      ? sa.doneAt - sb.doneAt
+                                      : sb.doneAt - sa.doneAt;
+                if (gap <= window)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drop accumulated spike samples (start of a new window). */
+    void
+    clear()
+    {
+        probeA_->clearSamples();
+        probeB_->clearSamples();
+    }
+
+  private:
+    std::unique_ptr<ProbeAgent> probeA_;
+    std::unique_ptr<ProbeAgent> probeB_;
+};
+
+/**
+ * Count-channel receiver: serially re-activates the shared row
+ * (alternating with a private decoy to force conflicts) and watches
+ * its own latencies; the activation count at the first RFM spike
+ * encodes the sender's symbol.
+ */
+class CountReceiver : public MemAgent
+{
+  public:
+    CountReceiver(const AddressMapper &mapper,
+                  const DramAddress &shared_row,
+                  const DramAddress &decoy_row, Cycle spike_threshold)
+        : sharedAddr_(mapper.compose(shared_row)),
+          decoyAddr_(mapper.compose(decoy_row)),
+          threshold_(spike_threshold)
+    {
+    }
+
+    /** Arm a probing burst of at most @p max_acts shared-row ACTs. */
+    void
+    arm(std::uint32_t max_acts)
+    {
+        active_ = true;
+        spikeSeen_ = false;
+        actsDone_ = 0;
+        maxActs_ = max_acts;
+        nextIsShared_ = true;
+    }
+
+    void disarm() { active_ = false; }
+
+    bool spikeSeen() const { return spikeSeen_; }
+    std::uint32_t actsAtSpike() const { return actsAtSpike_; }
+    std::uint32_t actsDone() const { return actsDone_; }
+
+    void
+    tick(MemoryController &mem, Cycle) override
+    {
+        if (!active_ || inFlight_ || spikeSeen_ || actsDone_ >= maxActs_)
+            return;
+
+        const bool is_shared = nextIsShared_;
+        Request req;
+        req.type = ReqType::Read;
+        req.addr = is_shared ? sharedAddr_ : decoyAddr_;
+        req.onComplete = [this, is_shared](const Request &done) {
+            inFlight_ = false;
+            if (is_shared)
+                ++actsDone_;
+            if (!spikeSeen_ && done.latency() >= threshold_) {
+                spikeSeen_ = true;
+                actsAtSpike_ = actsDone_;
+            }
+        };
+        if (mem.enqueue(std::move(req))) {
+            inFlight_ = true;
+            nextIsShared_ = !nextIsShared_;
+        }
+    }
+
+  private:
+    Addr sharedAddr_;
+    Addr decoyAddr_;
+    Cycle threshold_;
+    bool active_ = false;
+    bool inFlight_ = false;
+    bool nextIsShared_ = true;
+    bool spikeSeen_ = false;
+    std::uint32_t actsDone_ = 0;
+    std::uint32_t actsAtSpike_ = 0;
+    std::uint32_t maxActs_ = 0;
+};
+
+} // namespace
+
+CovertResult
+runActivityCovert(const CovertParams &params,
+                  const std::vector<bool> &message)
+{
+    const DramSpec spec = covertSpec(params);
+    AttackHarness harness(spec, covertControllerConfig(params));
+    const AddressMapper &mapper = harness.mem().mapper();
+
+    RfmDetector detector(mapper);
+
+    // Sender hammers a private bank, far from the detector's rows.
+    const DramAddress target{0, 4, 2, 0x100, 0};
+    std::vector<DramAddress> decoys;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
+    HammerAgent sender(mapper, target, decoys);
+
+    harness.add(&detector);
+    harness.add(&sender);
+
+    // Settle caches/row state and the first refresh rounds.
+    harness.run(spec.timing.tREFI * 4);
+
+    // A Bit-1 window must fit NBO target activations.  Each target
+    // activation costs one target and one decoy row cycle; with the
+    // PRAC-extended tRP the bank pipeline is tRP+tRCD+tRTP per cycle.
+    // 15% headroom absorbs refresh stalls.
+    const Cycle row_cycle =
+        spec.timing.tRP + spec.timing.tRCD + spec.timing.tRTP;
+    const Cycle window =
+        row_cycle * 2 * params.nbo * 115 / 100 +
+        spec.timing.tRFMab * spec.prac.nmit + nsToCycles(3000);
+
+    CovertResult result;
+    result.bitsPerSymbol = 1.0;
+    const Cycle t0 = harness.now();
+
+    for (const bool bit : message) {
+        const Cycle start = harness.now();
+        detector.clear();
+        if (bit)
+            sender.startHammer(params.nbo + spec.prac.aboAct + 4);
+        harness.run(window);
+        sender.stop();
+
+        const bool decoded = detector.rfmSince(start);
+        result.sent.push_back(bit ? 1 : 0);
+        result.decoded.push_back(decoded ? 1 : 0);
+        if (decoded != bit)
+            ++result.symbolErrors;
+        ++result.symbolsSent;
+    }
+
+    result.totalCycles = harness.now() - t0;
+    return result;
+}
+
+CovertResult
+runCountCovert(const CovertParams &params,
+               const std::vector<std::uint32_t> &symbols)
+{
+    const DramSpec spec = covertSpec(params);
+    AttackHarness harness(spec, covertControllerConfig(params));
+    const AddressMapper &mapper = harness.mem().mapper();
+
+    // Sender and receiver share one physical row (different columns),
+    // which MOP mapping makes possible across page boundaries.
+    const DramAddress shared{0, 2, 1, 0x500, 0};
+    const DramAddress shared_rx{0, 2, 1, 0x500, 64};
+
+    std::vector<DramAddress> tx_decoys;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        tx_decoys.push_back(DramAddress{0, 2, 1, 0x600 + i, 0});
+    const DramAddress rx_decoy{0, 2, 1, 0x700, 0};
+
+    HammerAgent sender(mapper, shared, tx_decoys);
+    const Cycle spike_threshold =
+        spec.timing.tRFMab * spec.prac.nmit - nsToCycles(100);
+    CountReceiver receiver(mapper, shared_rx, rx_decoy, spike_threshold);
+
+    harness.add(&sender);
+    harness.add(&receiver);
+    harness.run(spec.timing.tREFI * 4);
+
+    // Counts are spaced kSpacing apart so spike-attribution jitter
+    // never crosses a symbol boundary.  The jitter comes from the
+    // receiver's in-flight pipeline plus refresh-induced
+    // re-activations, and the latter grows with the (NBO-proportional)
+    // phase length -- hence the adaptive spacing.  Counts stay below
+    // nbo/2 so the sender alone can never assert the Alert.
+    const std::uint32_t kSpacing = params.nbo <= 256 ? 8 : 16;
+    const std::uint32_t max_count = params.nbo / 2;
+    const std::uint32_t max_symbol = max_count / kSpacing;
+    // Sender keeps two reads in flight (one bank row-cycle per read);
+    // the receiver is serialized, so each of its activations also pays
+    // the read round trip.  15% headroom absorbs refresh stalls.
+    const Cycle row_cycle =
+        spec.timing.tRP + spec.timing.tRCD + spec.timing.tRTP;
+    const Cycle rx_read =
+        row_cycle + spec.timing.readLatency() + spec.timing.tRTP;
+    const Cycle send_phase =
+        row_cycle * 2 * max_count * 115 / 100 + nsToCycles(2000);
+    const Cycle recv_phase = rx_read * 2 * params.nbo * 115 / 100 +
+                             spec.timing.tRFMab * spec.prac.nmit +
+                             nsToCycles(3000);
+
+    // The receiver's in-flight pipeline means the spike is observed a
+    // fixed number of activations after the true NBO crossing; a
+    // known preamble symbol calibrates that offset.
+    const std::uint32_t preamble = max_count / 2;
+
+    CovertResult result;
+    result.bitsPerSymbol =
+        std::log2(static_cast<double>(max_symbol));
+
+    std::int64_t offset = 0;
+    bool calibrated = false;
+    const Cycle t0 = harness.now();
+
+    auto transmit = [&](std::uint32_t k) -> std::int64_t {
+        // Sender phase: k activations of the shared row.
+        if (k > 0)
+            sender.startHammer(k);
+        harness.run(send_phase);
+        sender.stop();
+
+        // Receiver phase: activate until the RFM spike.
+        receiver.arm(params.nbo + 16);
+        const Cycle deadline = harness.now() + recv_phase;
+        harness.runUntil([&] { return receiver.spikeSeen(); },
+                         recv_phase);
+        receiver.disarm();
+        // Keep windows fixed-length for a clockable channel.
+        if (harness.now() < deadline)
+            harness.run(deadline - harness.now());
+
+        if (!receiver.spikeSeen())
+            return -1;
+        return static_cast<std::int64_t>(params.nbo) -
+               static_cast<std::int64_t>(receiver.actsAtSpike());
+    };
+
+    // Preamble (not scored).
+    const std::int64_t pre_raw = transmit(preamble);
+    if (pre_raw >= 0) {
+        offset = static_cast<std::int64_t>(preamble) - pre_raw;
+        calibrated = true;
+    } else {
+        warn("count covert channel: preamble produced no spike");
+    }
+
+    for (const std::uint32_t symbol : symbols) {
+        const std::uint32_t clamped = std::min(symbol, max_symbol - 1);
+        const std::uint32_t k = kSpacing * clamped + kSpacing / 2;
+        const std::int64_t raw = transmit(k);
+        std::int64_t decoded_symbol = -1;
+        std::int64_t k_cal = -1;
+        if (raw >= 0) {
+            k_cal = raw + (calibrated ? offset : 0);
+            decoded_symbol = k_cal / kSpacing; // grid cell (k+-3 safe)
+        }
+        result.rawCounts.push_back(k_cal);
+        result.sent.push_back(clamped);
+        result.decoded.push_back(
+            decoded_symbol < 0
+                ? 0
+                : static_cast<std::uint32_t>(decoded_symbol));
+        if (decoded_symbol != static_cast<std::int64_t>(clamped))
+            ++result.symbolErrors;
+        ++result.symbolsSent;
+    }
+
+    result.totalCycles = harness.now() - t0;
+    return result;
+}
+
+} // namespace pracleak

@@ -1,0 +1,34 @@
+#include "attack/harness.h"
+
+namespace pracleak {
+
+AttackHarness::AttackHarness(const DramSpec &spec,
+                             const ControllerConfig &config)
+    : mem_(spec, config, &stats_)
+{
+}
+
+void
+AttackHarness::add(MemAgent *agent)
+{
+    agents_.push_back(agent);
+}
+
+void
+AttackHarness::step()
+{
+    const Cycle now = mem_.now();
+    for (auto *agent : agents_)
+        agent->tick(mem_, now);
+    mem_.tick();
+}
+
+void
+AttackHarness::run(Cycle cycles)
+{
+    const Cycle end = mem_.now() + cycles;
+    while (mem_.now() < end)
+        step();
+}
+
+} // namespace pracleak

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory-level attack harness.
+ *
+ * PRACLeak's covert and side channels operate below the caches (the
+ * attacker flushes or bypasses them), so attack experiments drive the
+ * memory controller directly with cycle-stepped *agents* -- exactly
+ * how the paper runs spy/trojan/victim traces in Ramulator2.
+ */
+
+#ifndef PRACLEAK_ATTACK_HARNESS_H
+#define PRACLEAK_ATTACK_HARNESS_H
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/controller.h"
+
+namespace pracleak {
+
+/** A process-like actor issuing memory requests each cycle. */
+class MemAgent
+{
+  public:
+    virtual ~MemAgent() = default;
+
+    /** Called once per cycle before the controller ticks. */
+    virtual void tick(MemoryController &mem, Cycle now) = 0;
+};
+
+/** Owns a controller and steps a set of agents against it. */
+class AttackHarness
+{
+  public:
+    AttackHarness(const DramSpec &spec, const ControllerConfig &config);
+
+    /** Register an agent (not owned). */
+    void add(MemAgent *agent);
+
+    /** Run for @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /** Run until @p predicate() or @p max_cycles more cycles. */
+    template <typename Pred>
+    void
+    runUntil(Pred predicate, Cycle max_cycles)
+    {
+        const Cycle end = mem_.now() + max_cycles;
+        while (!predicate() && mem_.now() < end)
+            step();
+    }
+
+    /** Single cycle. */
+    void step();
+
+    MemoryController &mem() { return mem_; }
+    StatSet &stats() { return stats_; }
+    Cycle now() const { return mem_.now(); }
+
+  private:
+    StatSet stats_;
+    MemoryController mem_;
+    std::vector<MemAgent *> agents_;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_ATTACK_HARNESS_H

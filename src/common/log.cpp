@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+namespace pracleak {
+
+namespace {
+int g_level = 1;
+} // namespace
+
+int
+logLevel()
+{
+    return g_level;
+}
+
+int
+setLogLevel(int level)
+{
+    const int old = g_level;
+    g_level = level;
+    return old;
+}
+
+namespace detail {
+
+void
+logLine(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+void
+inform(const std::string &msg)
+{
+    if (g_level >= 2)
+        detail::logLine("info", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (g_level >= 1)
+        detail::logLine("warn", msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    detail::logLine("fatal", msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    detail::logLine("panic", msg);
+    std::abort();
+}
+
+} // namespace pracleak

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal leveled logging plus fatal/panic helpers in the spirit of
+ * gem5's logging.hh: panic() for simulator bugs, fatal() for bad user
+ * configuration.
+ */
+
+#ifndef PRACLEAK_COMMON_LOG_H
+#define PRACLEAK_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pracleak {
+
+/** Global verbosity: 0 = silent, 1 = warn, 2 = info, 3 = debug. */
+int logLevel();
+
+/** Set global verbosity (returns previous level). */
+int setLogLevel(int level);
+
+namespace detail {
+void logLine(const char *tag, const std::string &msg);
+} // namespace detail
+
+/** Informational message (level >= 2). */
+void inform(const std::string &msg);
+
+/** Something works but is suspicious (level >= 1). */
+void warn(const std::string &msg);
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Internal invariant violation: print and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace pracleak
+
+#endif // PRACLEAK_COMMON_LOG_H

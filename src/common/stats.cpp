@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <stdexcept>
+
+namespace pracleak {
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+}
+
+void
+Histogram::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        if (value < min_) min_ = value;
+        if (value > max_) max_ = value;
+    }
+    ++count_;
+    sum_ += value;
+
+    const auto idx = static_cast<std::size_t>(value / bucketWidth_);
+    if (value < 0 || idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double target = count_ * p / 100.0;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (static_cast<double>(seen) >= target)
+            return (static_cast<double>(i) + 0.5) * bucketWidth_;
+    }
+    return max_;
+}
+
+std::uint64_t &
+StatSet::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram &
+StatSet::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+bool
+StatSet::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
+}
+
+const Histogram &
+StatSet::getHistogram(const std::string &name) const
+{
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        throw std::out_of_range("no histogram named " + name);
+    return it->second;
+}
+
+void
+StatSet::reset()
+{
+    counters_.clear();
+    histograms_.clear();
+}
+
+} // namespace pracleak

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental types and time conversion helpers shared by every module.
+ *
+ * The whole simulator runs in a single clock domain: DDR5-8000 has a
+ * 4 GHz command clock, and the paper's cores also run at 4 GHz, so one
+ * simulator cycle is exactly 0.25 ns for both the memory system and the
+ * CPU front end.
+ */
+
+#ifndef PRACLEAK_COMMON_TYPES_H
+#define PRACLEAK_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace pracleak {
+
+/** A point in (or span of) simulated time, in 0.25 ns cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical (byte) address as seen by the memory controller. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/** Simulator clock period in nanoseconds (DDR5-8000, 4 GHz). */
+inline constexpr double kTckNs = 0.25;
+
+/** Simulator clock frequency in Hz. */
+inline constexpr double kClockHz = 4.0e9;
+
+/** Cache line size in bytes (fixed across the whole model). */
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/** log2(kLineBytes). */
+inline constexpr std::uint32_t kLineShift = 6;
+
+/** Convert a duration in nanoseconds to whole cycles (rounding up). */
+constexpr Cycle
+nsToCycles(double ns)
+{
+    const double cycles = ns / kTckNs;
+    const auto whole = static_cast<Cycle>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+/** Convert a cycle count back to nanoseconds. */
+constexpr double
+cyclesToNs(Cycle cycles)
+{
+    return static_cast<double>(cycles) * kTckNs;
+}
+
+/** Convert a cycle count to microseconds. */
+constexpr double
+cyclesToUs(Cycle cycles)
+{
+    return cyclesToNs(cycles) / 1000.0;
+}
+
+} // namespace pracleak
+
+#endif // PRACLEAK_COMMON_TYPES_H

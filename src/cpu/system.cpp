@@ -1,0 +1,160 @@
+#include "cpu/system.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace pracleak {
+
+double
+RunResult::ipcSum() const
+{
+    double sum = 0.0;
+    for (const auto &core : cores)
+        sum += core.ipc;
+    return sum;
+}
+
+double
+RunResult::rbmpki() const
+{
+    std::uint64_t instrs = 0;
+    for (const auto &core : cores)
+        instrs += core.instrs;
+    if (instrs == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(rowMisses) /
+           static_cast<double>(instrs);
+}
+
+double
+normalizedPerf(const RunResult &design, const RunResult &baseline)
+{
+    if (design.cores.size() != baseline.cores.size())
+        fatal("normalizedPerf: core-count mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < design.cores.size(); ++i) {
+        if (baseline.cores[i].ipc <= 0.0)
+            fatal("normalizedPerf: zero baseline IPC");
+        sum += design.cores[i].ipc / baseline.cores[i].ipc;
+    }
+    return sum / static_cast<double>(design.cores.size());
+}
+
+System::System(const SystemConfig &config,
+               std::vector<std::unique_ptr<WorkloadSource>> sources)
+    : config_(config), sources_(std::move(sources))
+{
+    mem_ = std::make_unique<MemoryController>(config_.spec, config_.mem,
+                                              &stats_);
+    caches_ = std::make_unique<CacheHierarchy>(
+        config_.caches, static_cast<std::uint32_t>(sources_.size()),
+        mem_.get(), &stats_);
+
+    cores_.reserve(sources_.size());
+    for (std::uint32_t i = 0; i < sources_.size(); ++i)
+        cores_.emplace_back(i, sources_[i].get(), caches_.get(),
+                            config_.core);
+}
+
+void
+System::stepAll()
+{
+    const Cycle now = mem_->now();
+    for (auto &core : cores_)
+        core.tick(now);
+    mem_->tick();
+}
+
+RunResult
+System::run()
+{
+    if (ran_)
+        fatal("System::run may only be called once");
+    ran_ = true;
+
+    const std::size_t n = cores_.size();
+
+    // Phase 1: warm-up.
+    auto all_warm = [&] {
+        return std::all_of(cores_.begin(), cores_.end(),
+                           [&](const TraceCore &c) {
+                               return c.instrsRetired() >=
+                                      config_.warmupInstrs;
+                           });
+    };
+    while (!all_warm() && mem_->now() < config_.maxCycles)
+        stepAll();
+
+    // Phase 2: measurement.
+    const Cycle measure_start = mem_->now();
+    std::vector<std::uint64_t> start_instrs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        start_instrs[i] = cores_[i].instrsRetired();
+
+    const DramDevice &dev = mem_->dram();
+    EnergyCounts start_counts;
+    start_counts.acts = dev.issueCount(CmdType::ACT);
+    start_counts.reads = dev.issueCount(CmdType::RD);
+    start_counts.writes = dev.issueCount(CmdType::WR);
+    start_counts.refreshes = dev.issueCount(CmdType::REFab);
+    start_counts.mitigatedRows = mem_->prac().mitigatedRows();
+    const std::uint64_t start_row_misses = stats_.get("mem.row_misses");
+
+    std::vector<Cycle> finish_at(n, 0);
+    std::size_t finished = 0;
+    while (finished < n && mem_->now() < config_.maxCycles) {
+        stepAll();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (finish_at[i] != 0)
+                continue;
+            if (cores_[i].instrsRetired() - start_instrs[i] >=
+                config_.measureInstrs) {
+                finish_at[i] = mem_->now();
+                ++finished;
+            }
+        }
+    }
+    if (finished < n)
+        warn("System::run hit maxCycles before all cores finished");
+
+    const Cycle end = mem_->now();
+
+    RunResult result;
+    result.cores.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        CoreResult &cr = result.cores[i];
+        cr.workload = cores_[i].workloadName();
+        const Cycle done = finish_at[i] ? finish_at[i] : end;
+        cr.instrs = std::min(cores_[i].instrsRetired() - start_instrs[i],
+                             config_.measureInstrs);
+        cr.cycles = done > measure_start ? done - measure_start : 1;
+        cr.ipc = static_cast<double>(cr.instrs) /
+                 static_cast<double>(cr.cycles);
+    }
+    result.measureCycles = end - measure_start;
+
+    EnergyCounts delta;
+    delta.acts = dev.issueCount(CmdType::ACT) - start_counts.acts;
+    delta.reads = dev.issueCount(CmdType::RD) - start_counts.reads;
+    delta.writes = dev.issueCount(CmdType::WR) - start_counts.writes;
+    delta.refreshes =
+        dev.issueCount(CmdType::REFab) - start_counts.refreshes;
+    delta.mitigatedRows =
+        mem_->prac().mitigatedRows() - start_counts.mitigatedRows;
+    delta.elapsed = result.measureCycles;
+    result.energyCounts = delta;
+    result.energy = computeEnergy(delta);
+
+    result.aboRfms = mem_->rfmCount(RfmReason::Abo);
+    result.acbRfms = mem_->rfmCount(RfmReason::Acb);
+    result.tbRfms = mem_->rfmCount(RfmReason::TimingBased);
+    result.tbRfmsSkipped =
+        mem_->tbScheduler() ? mem_->tbScheduler()->skipped() : 0;
+    result.alerts = mem_->prac().alerts();
+    result.rowMisses = stats_.get("mem.row_misses") - start_row_misses;
+    result.maxCounterSeen = mem_->prac().counters().maxEverSeen();
+    return result;
+}
+
+} // namespace pracleak

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Multi-core system harness: N trace cores -> shared cache hierarchy
+ * -> one DDR5 channel with a selectable RowHammer mitigation.
+ *
+ * Follows the paper's methodology: every core first retires a warm-up
+ * instruction budget, then IPC is measured per core over a fixed
+ * instruction count; cores that finish early keep executing so memory
+ * contention stays representative.  Performance is reported as
+ * weighted speedup against a baseline run of the same workloads.
+ */
+
+#ifndef PRACLEAK_CPU_SYSTEM_H
+#define PRACLEAK_CPU_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cpu/cache.h"
+#include "cpu/trace_core.h"
+#include "dram/energy.h"
+#include "mem/controller.h"
+
+namespace pracleak {
+
+/** Full-system configuration. */
+struct SystemConfig
+{
+    DramSpec spec = DramSpec::ddr5_8000b();
+    ControllerConfig mem{};
+    CacheHierConfig caches{};
+    CoreParams core{};
+    std::uint64_t warmupInstrs = 50'000;
+    std::uint64_t measureInstrs = 500'000;
+    Cycle maxCycles = 2'000'000'000; //!< hard safety stop
+};
+
+/** Per-core outcome of a run. */
+struct CoreResult
+{
+    std::string workload;
+    std::uint64_t instrs = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+};
+
+/** Whole-run outcome. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+    Cycle measureCycles = 0;
+    EnergyBreakdown energy;         //!< measure window only
+    EnergyCounts energyCounts;      //!< raw events, measure window
+
+    std::uint64_t aboRfms = 0;
+    std::uint64_t acbRfms = 0;
+    std::uint64_t tbRfms = 0;
+    std::uint64_t tbRfmsSkipped = 0;
+    std::uint64_t alerts = 0;
+    std::uint64_t rowMisses = 0;    //!< measure window
+    std::uint32_t maxCounterSeen = 0;
+
+    /** Sum of per-core IPCs. */
+    double ipcSum() const;
+
+    /** Row-buffer misses per kilo-instruction over the run. */
+    double rbmpki() const;
+};
+
+/**
+ * Normalized weighted speedup of @p design against @p baseline run on
+ * the same workloads: mean over cores of IPC_design / IPC_baseline.
+ */
+double normalizedPerf(const RunResult &design, const RunResult &baseline);
+
+/** The simulated system. */
+class System
+{
+  public:
+    System(const SystemConfig &config,
+           std::vector<std::unique_ptr<WorkloadSource>> sources);
+
+    /** Run warm-up then measurement; may only be called once. */
+    RunResult run();
+
+    MemoryController &mem() { return *mem_; }
+    StatSet &stats() { return stats_; }
+
+  private:
+    void stepAll();
+
+    SystemConfig config_;
+    StatSet stats_;
+    std::unique_ptr<MemoryController> mem_;
+    std::unique_ptr<CacheHierarchy> caches_;
+    std::vector<std::unique_ptr<WorkloadSource>> sources_;
+    std::vector<TraceCore> cores_;
+    bool ran_ = false;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_CPU_SYSTEM_H

@@ -1,0 +1,101 @@
+#include "cpu/trace_core.h"
+
+#include <algorithm>
+
+namespace pracleak {
+
+TraceCore::TraceCore(std::uint32_t id, WorkloadSource *source,
+                     CacheHierarchy *hierarchy, const CoreParams &params)
+    : id_(id), source_(source), hier_(hierarchy), params_(params)
+{
+}
+
+void
+TraceCore::onLoadDone(Cycle issue_cycle, Cycle latency, bool dependent)
+{
+    // Hits report their latency synchronously at issue; DRAM misses
+    // report at data-return time.  Either way the data is usable at
+    // issue + latency (never before "now").
+    const Cycle ready = std::max(issue_cycle + latency, now_);
+    completions_.push_back(Completion{ready, dependent});
+}
+
+void
+TraceCore::drainCompletions(Cycle now)
+{
+    for (std::size_t i = 0; i < completions_.size();) {
+        if (completions_[i].readyAt <= now) {
+            --outstanding_;
+            if (completions_[i].dependent)
+                --dependentOutstanding_;
+            completions_[i] = completions_.back();
+            completions_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+TraceCore::tick(Cycle now)
+{
+    now_ = now;
+    drainCompletions(now);
+
+    if (dependentOutstanding_ > 0)
+        return; // serialized on a pointer-chase load
+
+    std::uint32_t budget = params_.retireWidth;
+    while (budget > 0) {
+        if (backlog_ > 0) {
+            const std::uint32_t chunk = std::min(backlog_, budget);
+            backlog_ -= chunk;
+            instrs_ += chunk;
+            budget -= chunk;
+            continue;
+        }
+        if (!havePendingMem_) {
+            pending_ = source_->next();
+            backlog_ = pending_.nonMemInstrs;
+            havePendingMem_ = pending_.isMem;
+            if (backlog_ > 0)
+                continue;
+            if (!havePendingMem_)
+                continue; // pure bubble op
+        }
+
+        // One memory instruction; costs one retire slot.
+        if (pending_.isWrite) {
+            if (!hier_->tryStore(id_, pending_.addr))
+                return; // retry next cycle
+            havePendingMem_ = false;
+            ++instrs_;
+            --budget;
+            continue;
+        }
+
+        if (outstanding_ >= params_.mlp)
+            return; // out of MLP; wait for a completion
+
+        const Cycle issue_cycle = now;
+        const bool dependent = pending_.dependent;
+        const bool accepted = hier_->tryLoad(
+            id_, pending_.addr,
+            [this, issue_cycle, dependent](Cycle latency) {
+                onLoadDone(issue_cycle, latency, dependent);
+            });
+        if (!accepted)
+            return; // MSHRs/queue full; retry next cycle
+
+        ++outstanding_;
+        if (dependent)
+            ++dependentOutstanding_;
+        havePendingMem_ = false;
+        ++instrs_;
+        --budget;
+        if (dependent)
+            return; // nothing issues past a dependent load
+    }
+}
+
+} // namespace pracleak

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * T-table AES-128 in the style of OpenSSL/GnuPG software AES -- the
+ * paper's victim (Section 3.3).
+ *
+ * Four 1 KB lookup tables (Te0..Te3) are indexed by key- and
+ * plaintext-dependent bytes; each table spans 16 cache lines, and the
+ * *cache-line index* of a first-round lookup is the top nibble of
+ * p_i XOR k_i.  The optional access hook reports every table lookup
+ * (table, index, round) so the attack framework can translate lookups
+ * into DRAM activity.
+ *
+ * Functionally verified against the FIPS-197 test vectors (see
+ * tests/test_aes.cpp).
+ */
+
+#ifndef PRACLEAK_CRYPTO_AES128T_H
+#define PRACLEAK_CRYPTO_AES128T_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+namespace pracleak {
+
+/** AES-128 with T-table rounds and a lookup observation hook. */
+class Aes128T
+{
+  public:
+    using Block = std::array<std::uint8_t, 16>;
+    using Key = std::array<std::uint8_t, 16>;
+
+    /**
+     * Lookup observer: @p table in [0,4), @p index in [0,256),
+     * @p round in [1,10].
+     */
+    using AccessHook =
+        std::function<void(int table, std::uint8_t index, int round)>;
+
+    explicit Aes128T(const Key &key);
+
+    /** Encrypt one block, reporting every T-table lookup if hooked. */
+    Block encrypt(const Block &plaintext) const;
+
+    /** Install (or clear, with nullptr) the lookup observer. */
+    void setAccessHook(AccessHook hook) { hook_ = std::move(hook); }
+
+    /** Raw T-table word (used by tests to validate table structure). */
+    static std::uint32_t tableWord(int table, std::uint8_t index);
+
+    /** The AES S-box (exposed for test cross-validation). */
+    static std::uint8_t sbox(std::uint8_t x);
+
+  private:
+    std::uint32_t look(int table, std::uint8_t index, int round) const;
+
+    std::array<std::uint32_t, 44> roundKeys_;
+    mutable AccessHook hook_;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_CRYPTO_AES128T_H

@@ -1,0 +1,35 @@
+#include "dram/command.h"
+
+#include <sstream>
+
+namespace pracleak {
+
+const char *
+cmdName(CmdType type)
+{
+    switch (type) {
+      case CmdType::ACT: return "ACT";
+      case CmdType::PRE: return "PRE";
+      case CmdType::RD: return "RD";
+      case CmdType::WR: return "WR";
+      case CmdType::REFab: return "REFab";
+      case CmdType::RFMab: return "RFMab";
+      case CmdType::RFMpb: return "RFMpb";
+    }
+    return "?";
+}
+
+std::string
+Command::str() const
+{
+    std::ostringstream os;
+    os << cmdName(type) << " r" << rank << " bg" << bankGroup << " b"
+       << bank;
+    if (type == CmdType::ACT)
+        os << " row" << row;
+    if (type == CmdType::RD || type == CmdType::WR)
+        os << " col" << col;
+    return os.str();
+}
+
+} // namespace pracleak

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DRAM command vocabulary exchanged between the memory controller and
+ * the device model.
+ */
+
+#ifndef PRACLEAK_DRAM_COMMAND_H
+#define PRACLEAK_DRAM_COMMAND_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pracleak {
+
+/** Command opcodes.  REFab and RFMab operate on all banks. */
+enum class CmdType : std::uint8_t
+{
+    ACT,    //!< open a row
+    PRE,    //!< close the open row of one bank
+    RD,     //!< burst read from the open row
+    WR,     //!< burst write to the open row
+    REFab,  //!< all-bank refresh (per rank)
+    RFMab,  //!< refresh management, all banks (blocks whole channel)
+
+    /**
+     * Per-bank refresh management (the Section-7.2 extension): the
+     * addressed bank alone is blocked for tRFMpb, so mitigation no
+     * longer stalls the rest of the channel.  Requires the ABO
+     * protocol extension the paper describes; provided here for the
+     * TPRAC-PB ablation.
+     */
+    RFMpb,
+};
+
+/** Human-readable opcode name. */
+const char *cmdName(CmdType type);
+
+/** A fully-addressed command. */
+struct Command
+{
+    CmdType type = CmdType::ACT;
+    std::uint32_t rank = 0;
+    std::uint32_t bankGroup = 0;    //!< within rank
+    std::uint32_t bank = 0;         //!< within bank group
+    std::uint32_t row = 0;          //!< ACT only
+    std::uint32_t col = 0;          //!< RD/WR only
+
+    std::string str() const;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_DRAM_COMMAND_H

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cycle-level model of one DDR5 channel.
+ *
+ * The device tracks per-bank row state, per-rank ACT/CAS history, and
+ * channel-level data-bus / blocking state, and enforces every timing
+ * constraint in DramTiming.  The memory controller asks
+ * earliestIssue() when it may legally send a command and then calls
+ * issue(); issuing too early is a simulator bug (panic), not a
+ * recoverable error.
+ *
+ * PRAC bookkeeping (per-row counters, Alert Back-Off) is layered on
+ * top through the DramListener interface so the device model stays a
+ * pure timing engine.
+ */
+
+#ifndef PRACLEAK_DRAM_DRAM_H
+#define PRACLEAK_DRAM_DRAM_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/dram_spec.h"
+
+namespace pracleak {
+
+/**
+ * Observer interface for in-DRAM maintenance logic (PRAC, TREF).
+ * Callbacks fire at command-issue time.
+ */
+class DramListener
+{
+  public:
+    virtual ~DramListener() = default;
+
+    /** A row was activated. @param flat_bank channel-wide bank index. */
+    virtual void onActivate(std::uint32_t flat_bank, std::uint32_t row,
+                            Cycle now) = 0;
+
+    /** An all-bank refresh started on @p rank. */
+    virtual void onRefresh(std::uint32_t rank, Cycle now) = 0;
+
+    /** An RFMab started (affects every bank in the channel). */
+    virtual void onRfm(Cycle now) = 0;
+
+    /**
+     * An RFMpb started on one bank (Section-7.2 extension).  Default
+     * no-op so existing listeners stay source-compatible.
+     */
+    virtual void onRfmPb(std::uint32_t /*flat_bank*/, Cycle /*now*/) {}
+};
+
+/** One DDR5 channel with full timing-state tracking. */
+class DramDevice
+{
+  public:
+    explicit DramDevice(const DramSpec &spec);
+
+    const DramSpec &spec() const { return spec_; }
+
+    /** Register an observer (not owned). */
+    void addListener(DramListener *listener);
+
+    /**
+     * Earliest cycle at which @p cmd could legally issue, considering
+     * every timing and structural constraint.  Returns kNeverCycle if
+     * the command is structurally illegal right now (e.g. ACT to a
+     * bank with an open row).
+     */
+    Cycle earliestIssue(const Command &cmd) const;
+
+    /** True if @p cmd may issue exactly at @p now. */
+    bool canIssue(const Command &cmd, Cycle now) const;
+
+    /** Issue @p cmd at @p now; panics if canIssue() would be false. */
+    void issue(const Command &cmd, Cycle now);
+
+    /** Whether the given bank has an open row. */
+    bool isOpen(std::uint32_t rank, std::uint32_t bg,
+                std::uint32_t bank) const;
+
+    /** Open row of a bank (only valid when isOpen()). */
+    std::uint32_t openRow(std::uint32_t rank, std::uint32_t bg,
+                          std::uint32_t bank) const;
+
+    /** Whether any bank in @p rank has an open row. */
+    bool anyOpenInRank(std::uint32_t rank) const;
+
+    /** Whether any bank in the channel has an open row. */
+    bool anyOpen() const;
+
+    /** Channel blocked (RFMab in flight) until this cycle. */
+    Cycle channelBlockedUntil() const { return channelBlockedUntil_; }
+
+    /** Rank blocked (REFab in flight) until this cycle. */
+    Cycle rankBlockedUntil(std::uint32_t rank) const;
+
+    /**
+     * Completion time of a read issued at @p issue_cycle (last data
+     * beat on the bus).
+     */
+    Cycle readDoneAt(Cycle issue_cycle) const
+    {
+        return issue_cycle + spec_.timing.readLatency();
+    }
+
+    /** Optional sink receiving every issued command (for checkers). */
+    void setTraceSink(std::function<void(const Command &, Cycle)> sink)
+    {
+        traceSink_ = std::move(sink);
+    }
+
+    /** Number of commands issued so far, by opcode. */
+    std::uint64_t issueCount(CmdType type) const
+    {
+        return issueCounts_[static_cast<std::size_t>(type)];
+    }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        std::uint32_t row = 0;
+        Cycle nextAct = 0;
+        Cycle nextPre = 0;
+        Cycle nextRd = 0;
+        Cycle nextWr = 0;
+    };
+
+    struct RankState
+    {
+        Cycle blockedUntil = 0;             //!< REFab
+        std::array<Cycle, 4> actTimes{};    //!< tFAW ring buffer
+        std::size_t actPtr = 0;
+        Cycle lastActAny = kNeverCycle;     //!< tRRD_S reference
+        std::vector<Cycle> lastActByBg;     //!< tRRD_L reference
+        Cycle nextCasAny = 0;               //!< tCCD_S gate
+        std::vector<Cycle> nextCasByBg;     //!< tCCD_L gate
+        Cycle rdAllowedAt = 0;              //!< tWTR gate (same rank)
+    };
+
+    std::size_t bankIndex(std::uint32_t rank, std::uint32_t bg,
+                          std::uint32_t bank) const;
+    const BankState &bankOf(const Command &cmd) const;
+    BankState &bankOf(const Command &cmd);
+
+    Cycle earliestAct(const Command &cmd) const;
+    Cycle earliestPre(const Command &cmd) const;
+    Cycle earliestCas(const Command &cmd, bool is_read) const;
+    Cycle earliestRef(const Command &cmd) const;
+    Cycle earliestRfm() const;
+    Cycle earliestRfmPb(const Command &cmd) const;
+
+    void issueAct(const Command &cmd, Cycle now);
+    void issuePre(const Command &cmd, Cycle now);
+    void issueCas(const Command &cmd, Cycle now, bool is_read);
+    void issueRef(const Command &cmd, Cycle now);
+    void issueRfm(Cycle now);
+    void issueRfmPb(const Command &cmd, Cycle now);
+
+    DramSpec spec_;
+    std::vector<BankState> banks_;      //!< [rank][bg][bank] flattened
+    std::vector<RankState> ranks_;
+    Cycle channelBlockedUntil_ = 0;
+    Cycle busFreeAt_ = 0;
+    Cycle busRdAllowedAt_ = 0;  //!< WR -> RD turnaround (channel-wide)
+    Cycle busWrAllowedAt_ = 0;  //!< RD -> WR turnaround (channel-wide)
+    std::vector<DramListener *> listeners_;
+    std::function<void(const Command &, Cycle)> traceSink_;
+    std::array<std::uint64_t, 7> issueCounts_{};
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_DRAM_DRAM_H

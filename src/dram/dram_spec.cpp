@@ -1,0 +1,14 @@
+#include "dram/dram_spec.h"
+
+namespace pracleak {
+
+DramSpec
+DramSpec::ddr5_8000b()
+{
+    // Defaults in the struct definitions already encode Table 1/3;
+    // this factory exists so call sites read as intent, and so future
+    // variants (e.g. 16 Gb parts) can be added without touching users.
+    return DramSpec{};
+}
+
+} // namespace pracleak

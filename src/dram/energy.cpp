@@ -1,0 +1,34 @@
+#include "dram/energy.h"
+
+namespace pracleak {
+
+EnergyBreakdown
+computeEnergy(const EnergyCounts &counts, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    out.actPreNj = params.actPreNj * counts.acts;
+    out.readNj = params.readNj * counts.reads;
+    out.writeNj = params.writeNj * counts.writes;
+    out.refreshNj = params.refAbNj * counts.refreshes;
+    out.mitigationNj = params.rowMitigationNj * counts.mitigatedRows;
+    // W * s = J; convert to nJ.
+    out.backgroundNj =
+        params.backgroundW * (cyclesToNs(counts.elapsed) * 1e-9) * 1e9;
+    return out;
+}
+
+EnergyBreakdown
+computeEnergy(const DramDevice &dev, Cycle elapsed,
+              std::uint64_t mitigated_rows, const EnergyParams &params)
+{
+    EnergyCounts counts;
+    counts.acts = dev.issueCount(CmdType::ACT);
+    counts.reads = dev.issueCount(CmdType::RD);
+    counts.writes = dev.issueCount(CmdType::WR);
+    counts.refreshes = dev.issueCount(CmdType::REFab);
+    counts.mitigatedRows = mitigated_rows;
+    counts.elapsed = elapsed;
+    return computeEnergy(counts, params);
+}
+
+} // namespace pracleak

@@ -1,0 +1,97 @@
+#include "mem/address_mapper.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace pracleak {
+
+namespace {
+
+std::uint32_t
+log2Exact(std::uint32_t value, const char *what)
+{
+    if (value == 0 || (value & (value - 1)) != 0)
+        fatal(std::string(what) + " must be a power of two");
+    return static_cast<std::uint32_t>(std::countr_zero(value));
+}
+
+} // namespace
+
+AddressMapper::AddressMapper(const DramOrg &org, MappingScheme scheme)
+    : org_(org), scheme_(scheme),
+      bgBits_(log2Exact(org.bankGroups, "bankGroups")),
+      bankBits_(log2Exact(org.banksPerGroup, "banksPerGroup")),
+      rankBits_(log2Exact(org.ranks, "ranks")),
+      colBits_(log2Exact(org.colsPerRow, "colsPerRow")),
+      rowBits_(log2Exact(org.rowsPerBank, "rowsPerBank"))
+{
+}
+
+DramAddress
+AddressMapper::map(Addr physical) const
+{
+    std::uint64_t line = physical >> kLineShift;
+    DramAddress out;
+
+    auto take = [&line](std::uint32_t bits) {
+        const std::uint64_t value = line & ((1ULL << bits) - 1);
+        line >>= bits;
+        return static_cast<std::uint32_t>(value);
+    };
+
+    if (scheme_ == MappingScheme::Mop4) {
+        const std::uint32_t col_lo = take(kMopBlockBits);
+        out.bankGroup = take(bgBits_);
+        out.bank = take(bankBits_);
+        out.rank = take(rankBits_);
+        const std::uint32_t col_hi = take(colBits_ - kMopBlockBits);
+        out.col = (col_hi << kMopBlockBits) | col_lo;
+        out.row = take(rowBits_);
+    } else {
+        out.col = take(colBits_);
+        out.bankGroup = take(bgBits_);
+        out.bank = take(bankBits_);
+        out.rank = take(rankBits_);
+        out.row = take(rowBits_);
+    }
+    return out;
+}
+
+Addr
+AddressMapper::compose(const DramAddress &daddr) const
+{
+    std::uint64_t line = 0;
+    std::uint32_t shift = 0;
+
+    auto put = [&line, &shift](std::uint64_t value, std::uint32_t bits) {
+        line |= (value & ((1ULL << bits) - 1)) << shift;
+        shift += bits;
+    };
+
+    if (scheme_ == MappingScheme::Mop4) {
+        put(daddr.col & ((1u << kMopBlockBits) - 1), kMopBlockBits);
+        put(daddr.bankGroup, bgBits_);
+        put(daddr.bank, bankBits_);
+        put(daddr.rank, rankBits_);
+        put(daddr.col >> kMopBlockBits, colBits_ - kMopBlockBits);
+        put(daddr.row, rowBits_);
+    } else {
+        put(daddr.col, colBits_);
+        put(daddr.bankGroup, bgBits_);
+        put(daddr.bank, bankBits_);
+        put(daddr.rank, rankBits_);
+        put(daddr.row, rowBits_);
+    }
+    return line << kLineShift;
+}
+
+std::uint32_t
+AddressMapper::flatBank(const DramAddress &daddr) const
+{
+    return org_.flatBank(daddr.rank,
+                         daddr.bankGroup * org_.banksPerGroup +
+                             daddr.bank);
+}
+
+} // namespace pracleak

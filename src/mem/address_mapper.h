@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate translation.
+ *
+ * The default scheme is Minimalist Open-Page (MOP): small blocks of
+ * four consecutive cache lines share a row for spatial locality, and
+ * successive blocks stripe across bank groups, banks, and ranks for
+ * parallelism.  A consequence the paper's attacks rely on: one 8 KB
+ * DRAM row collects 4-line blocks from 32 *different* 4 KB page-sized
+ * regions, so two processes' pages can share a physical row.
+ *
+ * RowInterleaved keeps each row's 128 lines physically contiguous
+ * (classic open-page mapping) and is provided as an ablation.
+ */
+
+#ifndef PRACLEAK_MEM_ADDRESS_MAPPER_H
+#define PRACLEAK_MEM_ADDRESS_MAPPER_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/dram_spec.h"
+
+namespace pracleak {
+
+/** Decomposed DRAM coordinates of one cache line. */
+struct DramAddress
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bankGroup = 0;
+    std::uint32_t bank = 0;     //!< within bank group
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;      //!< cache-line column within the row
+
+    bool
+    sameBank(const DramAddress &other) const
+    {
+        return rank == other.rank && bankGroup == other.bankGroup &&
+               bank == other.bank;
+    }
+
+    bool
+    sameRow(const DramAddress &other) const
+    {
+        return sameBank(other) && row == other.row;
+    }
+};
+
+/** Address-interleaving scheme. */
+enum class MappingScheme : std::uint8_t
+{
+    Mop4,           //!< MOP with 4-line blocks (paper's configuration)
+    RowInterleaved, //!< whole row contiguous in physical space
+};
+
+/** Bidirectional physical <-> DRAM address translation. */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramOrg &org,
+                  MappingScheme scheme = MappingScheme::Mop4);
+
+    /** Translate a (byte) physical address; low 6 bits are ignored. */
+    DramAddress map(Addr physical) const;
+
+    /** Inverse translation: DRAM coordinates to a physical address. */
+    Addr compose(const DramAddress &daddr) const;
+
+    /** Channel-wide flat bank index for @p daddr. */
+    std::uint32_t flatBank(const DramAddress &daddr) const;
+
+    MappingScheme scheme() const { return scheme_; }
+    const DramOrg &org() const { return org_; }
+
+  private:
+    DramOrg org_;
+    MappingScheme scheme_;
+
+    std::uint32_t bgBits_;
+    std::uint32_t bankBits_;
+    std::uint32_t rankBits_;
+    std::uint32_t colBits_;
+    std::uint32_t rowBits_;
+    static constexpr std::uint32_t kMopBlockBits = 2; //!< 4-line blocks
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_MEM_ADDRESS_MAPPER_H

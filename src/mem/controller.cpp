@@ -1,0 +1,453 @@
+#include "mem/controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace pracleak {
+
+const char *
+mitigationModeName(MitigationMode mode)
+{
+    switch (mode) {
+      case MitigationMode::NoMitigation: return "no-mitigation";
+      case MitigationMode::AboOnly: return "abo-only";
+      case MitigationMode::AboAcb: return "abo+acb-rfm";
+      case MitigationMode::Tprac: return "tprac";
+      case MitigationMode::Obfuscation: return "obfuscation";
+    }
+    return "?";
+}
+
+MemoryController::MemoryController(const DramSpec &spec,
+                                   const ControllerConfig &config,
+                                   StatSet *stats)
+    : spec_(spec), config_(config), stats_(stats), dram_(spec),
+      mapper_(spec.org, config.mapping)
+{
+    PracEngineConfig prac_config = config.prac;
+    if (config.mode == MitigationMode::NoMitigation)
+        prac_config.aboEnabled = false;
+
+    prac_ = std::make_unique<PracEngine>(spec, prac_config, stats);
+    dram_.addListener(prac_.get());
+
+    if (config.mode == MitigationMode::AboAcb) {
+        if (config.bat == 0)
+            fatal("AboAcb mode requires a non-zero BAT");
+        acb_ = std::make_unique<AcbTracker>(spec.org.totalBanks(),
+                                            config.bat);
+    }
+    if (config.mode == MitigationMode::Tprac) {
+        if (config.tbRfm.windowCycles == 0)
+            fatal("Tprac mode requires a non-zero TB-Window");
+        TbRfmConfig tb = config.tbRfm;
+        if (tb.perBank) {
+            // Rotate through every bank within one window so each
+            // bank still gets one mitigation per windowCycles.
+            tb.windowCycles = std::max<Cycle>(
+                1, tb.windowCycles / spec.org.totalBanks());
+        }
+        tbRfm_ = std::make_unique<TbRfmScheduler>(tb, prac_.get());
+    }
+    if (config.mode == MitigationMode::Obfuscation) {
+        obfuscationRng_ = Rng(config.obfuscationSeed);
+        nextObfuscationDrawAt_ = spec.timing.tREFI;
+    }
+
+    nextRefreshAt_.resize(spec.org.ranks);
+    for (std::uint32_t r = 0; r < spec.org.ranks; ++r) {
+        // Stagger per-rank refreshes evenly across a tREFI.
+        nextRefreshAt_[r] =
+            spec.timing.tREFI * (r + 1) / spec.org.ranks;
+    }
+    hitStreak_.assign(spec.org.totalBanks(), 0);
+}
+
+bool
+MemoryController::enqueue(Request request)
+{
+    if (!canAccept())
+        return false;
+    request.arrival = now_;
+    request.daddr = mapper_.map(request.addr);
+    queue_.push_back(Entry{std::move(request), nextSeq_++});
+    if (stats_)
+        ++stats_->counter(request.type == ReqType::Read ? "mem.reads"
+                                                        : "mem.writes");
+    return true;
+}
+
+void
+MemoryController::finishRequest(Entry &entry, Cycle done_at)
+{
+    entry.req.completed = done_at;
+    inFlight_.push_back(InFlight{std::move(entry), done_at});
+}
+
+void
+MemoryController::startAboServiceIfNeeded()
+{
+    if (!prac_->alertAsserted())
+        return;
+    const bool act_budget_spent =
+        prac_->actsSinceAlert() >= spec_.prac.aboAct;
+    const bool window_elapsed =
+        now_ >= prac_->alertAssertedAt() + spec_.timing.tABOACT;
+    if (!act_budget_spent && !window_elapsed)
+        return;
+
+    maint_.active = true;
+    maint_.isRfm = true;
+    maint_.reason = RfmReason::Abo;
+    maint_.rfmsRemaining = spec_.prac.nmit;
+}
+
+void
+MemoryController::startProactiveRfmIfNeeded()
+{
+    if (tbRfm_ && tbRfm_->due(now_)) {
+        if (!tbRfm_->trySkipWithTref(now_)) {
+            maint_.active = true;
+            maint_.isRfm = true;
+            maint_.perBank = config_.tbRfm.perBank;
+            maint_.reason = RfmReason::TimingBased;
+            maint_.rfmsRemaining = 1;
+            if (maint_.perBank) {
+                maint_.flatBank =
+                    rfmPbRotation_ % spec_.org.totalBanks();
+                ++rfmPbRotation_;
+            }
+        }
+        return;
+    }
+    if (acb_ && acb_->rfmNeeded()) {
+        maint_.active = true;
+        maint_.isRfm = true;
+        maint_.reason = RfmReason::Acb;
+        maint_.rfmsRemaining = 1;
+        return;
+    }
+    if (config_.mode == MitigationMode::Obfuscation &&
+        now_ >= nextObfuscationDrawAt_) {
+        nextObfuscationDrawAt_ += spec_.timing.tREFI;
+        if (obfuscationRng_.chance(config_.randomRfmPerTrefi)) {
+            maint_.active = true;
+            maint_.isRfm = true;
+            maint_.reason = RfmReason::Random;
+            maint_.rfmsRemaining = 1;
+        }
+    }
+}
+
+void
+MemoryController::startRefreshIfNeeded()
+{
+    if (!config_.refreshEnabled)
+        return;
+    // Service the most overdue rank first.
+    std::uint32_t best_rank = 0;
+    bool found = false;
+    Cycle best_due = kNeverCycle;
+    for (std::uint32_t r = 0; r < spec_.org.ranks; ++r) {
+        if (now_ >= nextRefreshAt_[r] && nextRefreshAt_[r] < best_due) {
+            best_due = nextRefreshAt_[r];
+            best_rank = r;
+            found = true;
+        }
+    }
+    if (!found)
+        return;
+    maint_.active = true;
+    maint_.isRfm = false;
+    maint_.rank = best_rank;
+}
+
+bool
+MemoryController::issueIfReady(const Command &cmd)
+{
+    if (!dram_.canIssue(cmd, now_))
+        return false;
+    dram_.issue(cmd, now_);
+    return true;
+}
+
+bool
+MemoryController::tickMaintenance()
+{
+    const DramOrg &org = spec_.org;
+
+    if (maint_.isRfm && maint_.perBank) {
+        // RFMpb drain: precharge only the target bank.
+        const std::uint32_t rank =
+            maint_.flatBank / org.banksPerRank();
+        const std::uint32_t in_rank =
+            maint_.flatBank % org.banksPerRank();
+        const std::uint32_t bg = in_rank / org.banksPerGroup;
+        const std::uint32_t bank = in_rank % org.banksPerGroup;
+
+        if (dram_.isOpen(rank, bg, bank)) {
+            Command pre{CmdType::PRE, rank, bg, bank, 0, 0};
+            return issueIfReady(pre);
+        }
+        Command rfm{CmdType::RFMpb, rank, bg, bank, 0, 0};
+        if (!issueIfReady(rfm))
+            return false;
+        ++rfmCounts_[static_cast<std::size_t>(RfmReason::TimingBased)];
+        if (stats_)
+            ++stats_->counter("mem.tb_rfms_pb");
+        if (tbRfm_)
+            tbRfm_->onRfmIssued(now_);
+        maint_.active = false;
+        return true;
+    }
+
+    if (maint_.isRfm) {
+        // Drain: precharge every open bank in the channel.
+        for (std::uint32_t r = 0; r < org.ranks; ++r) {
+            for (std::uint32_t bg = 0; bg < org.bankGroups; ++bg) {
+                for (std::uint32_t b = 0; b < org.banksPerGroup; ++b) {
+                    if (!dram_.isOpen(r, bg, b))
+                        continue;
+                    Command pre{CmdType::PRE, r, bg, b, 0, 0};
+                    if (issueIfReady(pre))
+                        return true;
+                }
+            }
+        }
+        if (dram_.anyOpen())
+            return false; // a precharge is pending but not yet legal
+
+        Command rfm{CmdType::RFMab, 0, 0, 0, 0, 0};
+        if (!issueIfReady(rfm))
+            return false;
+
+        ++rfmCounts_[static_cast<std::size_t>(maint_.reason)];
+        if (stats_) {
+            switch (maint_.reason) {
+              case RfmReason::Abo:
+                ++stats_->counter("mem.abo_rfms");
+                break;
+              case RfmReason::Acb:
+                ++stats_->counter("mem.acb_rfms");
+                break;
+              case RfmReason::TimingBased:
+                ++stats_->counter("mem.tb_rfms");
+                break;
+              case RfmReason::Random:
+                ++stats_->counter("mem.random_rfms");
+                break;
+            }
+        }
+        if (maint_.reason == RfmReason::TimingBased && tbRfm_)
+            tbRfm_->onRfmIssued(now_);
+        if (acb_)
+            acb_->onRfmIssued();
+
+        if (--maint_.rfmsRemaining == 0)
+            maint_.active = false;
+        return true;
+    }
+
+    // Refresh drain: precharge open banks of the target rank only.
+    for (std::uint32_t bg = 0; bg < org.bankGroups; ++bg) {
+        for (std::uint32_t b = 0; b < org.banksPerGroup; ++b) {
+            if (!dram_.isOpen(maint_.rank, bg, b))
+                continue;
+            Command pre{CmdType::PRE, maint_.rank, bg, b, 0, 0};
+            if (issueIfReady(pre))
+                return true;
+        }
+    }
+    if (dram_.anyOpenInRank(maint_.rank))
+        return false;
+
+    Command ref{CmdType::REFab, maint_.rank, 0, 0, 0, 0};
+    if (!issueIfReady(ref))
+        return false;
+
+    nextRefreshAt_[maint_.rank] += spec_.timing.tREFI;
+    maint_.active = false;
+    if (stats_)
+        ++stats_->counter("mem.refreshes");
+    return true;
+}
+
+bool
+MemoryController::tickDemand()
+{
+    if (queue_.empty())
+        return false;
+
+    const bool refresh_drain = maint_.active && !maint_.isRfm;
+    const bool rfmpb_drain =
+        maint_.active && maint_.isRfm && maint_.perBank;
+    const bool acts_blocked =
+        prac_->alertAsserted() &&
+        prac_->actsSinceAlert() >= spec_.prac.aboAct;
+
+    auto blocked_by_drain = [&](const DramAddress &da) {
+        if (refresh_drain && da.rank == maint_.rank)
+            return true;
+        if (rfmpb_drain && mapper_.flatBank(da) == maint_.flatBank)
+            return true;
+        return false;
+    };
+
+    // A row hit may bypass older requests unless the streak cap is
+    // reached AND an older request is waiting on the same bank with a
+    // different row (the FR-FCFS starvation case the cap exists for).
+    auto older_conflict = [&](std::deque<Entry>::iterator it,
+                              const DramAddress &da) {
+        for (auto older = queue_.begin(); older != it; ++older) {
+            const DramAddress &oda = older->req.daddr;
+            if (oda.sameBank(da) && oda.row != da.row)
+                return true;
+        }
+        return false;
+    };
+
+    // Pass 1: oldest ready row-hit, subject to the streak cap.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const DramAddress &da = it->req.daddr;
+        if (blocked_by_drain(da))
+            continue;
+        if (!dram_.isOpen(da.rank, da.bankGroup, da.bank) ||
+            dram_.openRow(da.rank, da.bankGroup, da.bank) != da.row)
+            continue;
+        const std::uint32_t flat = mapper_.flatBank(da);
+        if (hitStreak_[flat] >= config_.frfcfsCap &&
+            older_conflict(it, da))
+            continue; // let the conflicting older request make progress
+
+        const bool is_read = it->req.type == ReqType::Read;
+        Command cas{is_read ? CmdType::RD : CmdType::WR, da.rank,
+                    da.bankGroup, da.bank, da.row, da.col};
+        if (!issueIfReady(cas))
+            continue;
+
+        ++hitStreak_[flat];
+        if (stats_)
+            ++stats_->counter("mem.row_hits");
+        const Cycle done = is_read
+                               ? now_ + spec_.timing.readLatency()
+                               : now_ + spec_.timing.writeLatency();
+        Entry entry = std::move(*it);
+        queue_.erase(it);
+        finishRequest(entry, done);
+        return true;
+    }
+
+    // Pass 2: oldest-first, issue whatever the head-of-line request
+    // needs next (PRE on conflict, ACT on closed bank).
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const DramAddress &da = it->req.daddr;
+        if (blocked_by_drain(da))
+            continue;
+
+        const bool open = dram_.isOpen(da.rank, da.bankGroup, da.bank);
+        const std::uint32_t flat = mapper_.flatBank(da);
+
+        if (open && dram_.openRow(da.rank, da.bankGroup, da.bank) !=
+                        da.row) {
+            // Row conflict: close the current row -- but not while
+            // another queued request still hits it (open-page policy;
+            // the streak cap bounds how long conflicts can starve).
+            const std::uint32_t open_row =
+                dram_.openRow(da.rank, da.bankGroup, da.bank);
+            const std::uint32_t flat_pre = mapper_.flatBank(da);
+            if (hitStreak_[flat_pre] < config_.frfcfsCap) {
+                bool hit_pending = false;
+                for (const Entry &other : queue_) {
+                    if (other.req.daddr.sameBank(da) &&
+                        other.req.daddr.row == open_row) {
+                        hit_pending = true;
+                        break;
+                    }
+                }
+                if (hit_pending)
+                    continue;
+            }
+            Command pre{CmdType::PRE, da.rank, da.bankGroup, da.bank, 0,
+                        0};
+            if (issueIfReady(pre)) {
+                hitStreak_[flat] = 0;
+                if (stats_)
+                    ++stats_->counter("mem.row_conflicts");
+                return true;
+            }
+            continue;
+        }
+        if (!open) {
+            if (acts_blocked)
+                continue; // honour the ABOACT budget
+            Command act{CmdType::ACT, da.rank, da.bankGroup, da.bank,
+                        da.row, 0};
+            if (issueIfReady(act)) {
+                hitStreak_[flat] = 0;
+                if (acb_)
+                    acb_->onActivate(flat);
+                if (stats_)
+                    ++stats_->counter("mem.row_misses");
+                return true;
+            }
+            continue;
+        }
+        // Open with the right row but the CAS was not ready in pass 1
+        // (or was capped); nothing else to do for this entry.
+    }
+    return false;
+}
+
+void
+MemoryController::tick()
+{
+    prac_->maybePeriodicReset(now_);
+
+    // Deliver finished requests.
+    for (std::size_t i = 0; i < inFlight_.size();) {
+        if (inFlight_[i].doneAt <= now_) {
+            Entry entry = std::move(inFlight_[i].entry);
+            inFlight_[i] = std::move(inFlight_.back());
+            inFlight_.pop_back();
+            if (stats_ && entry.req.type == ReqType::Read) {
+                stats_->histogram("mem.read_latency_ns")
+                    .sample(cyclesToNs(entry.req.latency()));
+            }
+            if (entry.req.onComplete)
+                entry.req.onComplete(entry.req);
+        } else {
+            ++i;
+        }
+    }
+
+    if (!maint_.active)
+        startAboServiceIfNeeded();
+    if (!maint_.active)
+        startProactiveRfmIfNeeded();
+    if (!maint_.active)
+        startRefreshIfNeeded();
+
+    bool issued = false;
+    if (maint_.active)
+        issued = tickMaintenance();
+
+    // Demand may proceed when no maintenance holds the channel, or
+    // when only a single-rank refresh / single-bank RFMpb drain is in
+    // progress (that's the point of the per-bank extension).
+    if (!issued &&
+        (!maint_.active || !maint_.isRfm || maint_.perBank))
+        tickDemand();
+
+    ++now_;
+}
+
+void
+MemoryController::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    while (now_ < end)
+        tick();
+}
+
+} // namespace pracleak

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * DDR5 memory controller with FR-FCFS scheduling, open-page policy,
+ * auto-refresh, and pluggable RowHammer mitigation modes:
+ *
+ *  - NoMitigation : PRAC timings, no ABO, no RFMs (the paper's
+ *    normalization baseline).
+ *  - AboOnly      : DRAM asserts Alert at NBO; controller services it
+ *    with Nmit RFMab commands (insecure: ABO-RFMs leak).
+ *  - AboAcb       : AboOnly plus proactive Activation-Based RFMs at
+ *    the Bank Activation Threshold (insecure: ACB-RFMs leak).
+ *  - Tprac        : Timing-Based RFMs at a fixed TB-Window, ABO kept
+ *    armed only as a safety net (never fires when the window is
+ *    configured from the Feinting analysis).
+ *
+ * The controller issues at most one command per cycle, with priority
+ * maintenance-over-demand: an in-flight RFM sequence first, then due
+ * refreshes, then demand requests.
+ */
+
+#ifndef PRACLEAK_MEM_CONTROLLER_H
+#define PRACLEAK_MEM_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram.h"
+#include "mem/address_mapper.h"
+#include "mem/request.h"
+#include "prac/acb_tracker.h"
+#include "prac/prac_engine.h"
+#include "tprac/tb_rfm.h"
+
+namespace pracleak {
+
+/** Top-level mitigation strategy. */
+enum class MitigationMode : std::uint8_t
+{
+    NoMitigation,
+    AboOnly,
+    AboAcb,
+    Tprac,
+
+    /**
+     * Section 7.1 alternative: ABO stays armed, and the controller
+     * additionally injects RFMabs at random (Bernoulli draw once per
+     * tREFI) to obfuscate the timing channel.  Does NOT eliminate
+     * ABO-RFMs -- provided for the leakage-vs-cost ablation.
+     */
+    Obfuscation,
+};
+
+const char *mitigationModeName(MitigationMode mode);
+
+/** Controller configuration. */
+struct ControllerConfig
+{
+    MappingScheme mapping = MappingScheme::Mop4;
+    std::size_t queueCapacity = 64;     //!< outstanding requests
+    std::uint32_t frfcfsCap = 4;        //!< row-hit streak cap
+    bool refreshEnabled = true;
+
+    MitigationMode mode = MitigationMode::NoMitigation;
+    PracEngineConfig prac{};
+    std::uint32_t bat = 0;              //!< ACB threshold (AboAcb mode)
+    TbRfmConfig tbRfm{};                //!< TPRAC window (Tprac mode)
+
+    /** Obfuscation mode: P(inject one RFM) per tREFI. */
+    double randomRfmPerTrefi = 0.5;
+    std::uint64_t obfuscationSeed = 0xDEC0'D5ULL;
+};
+
+/** Why an RFMab is being issued (for stats and experiments). */
+enum class RfmReason : std::uint8_t
+{
+    Abo,
+    Acb,
+    TimingBased,
+    Random,
+};
+
+/** One-channel memory controller. */
+class MemoryController
+{
+  public:
+    MemoryController(const DramSpec &spec, const ControllerConfig &config,
+                     StatSet *stats = nullptr);
+
+    /** Whether the request queue can take another entry. */
+    bool canAccept() const { return queue_.size() < config_.queueCapacity; }
+
+    /** Enqueue a request; returns false when the queue is full. */
+    bool enqueue(Request request);
+
+    /** Advance one cycle: issue at most one DRAM command. */
+    void tick();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    Cycle now() const { return now_; }
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    DramDevice &dram() { return dram_; }
+    const DramDevice &dram() const { return dram_; }
+    PracEngine &prac() { return *prac_; }
+    const PracEngine &prac() const { return *prac_; }
+    const AddressMapper &mapper() const { return mapper_; }
+    const ControllerConfig &config() const { return config_; }
+    const TbRfmScheduler *tbScheduler() const { return tbRfm_.get(); }
+
+    /** RFMab count by reason. */
+    std::uint64_t rfmCount(RfmReason reason) const
+    {
+        return rfmCounts_[static_cast<std::size_t>(reason)];
+    }
+
+  private:
+    struct Entry
+    {
+        Request req;
+        std::uint64_t seq;      //!< age for FCFS ordering
+    };
+
+    /** Multi-cycle maintenance sequence (precharge-all then RFM/REF). */
+    struct Maintenance
+    {
+        bool active = false;
+        bool isRfm = false;     //!< else refresh
+        bool perBank = false;   //!< RFMpb instead of RFMab
+        RfmReason reason = RfmReason::Abo;
+        std::uint32_t rank = 0; //!< refresh target
+        std::uint32_t flatBank = 0; //!< RFMpb target
+        std::uint32_t rfmsRemaining = 0;
+    };
+
+    void startAboServiceIfNeeded();
+    void startProactiveRfmIfNeeded();
+    void startRefreshIfNeeded();
+    bool tickMaintenance();
+    bool tickDemand();
+    bool issueIfReady(const Command &cmd);
+    void finishRequest(Entry &entry, Cycle done_at);
+
+    DramSpec spec_;
+    ControllerConfig config_;
+    StatSet *stats_;
+
+    DramDevice dram_;
+    AddressMapper mapper_;
+    std::unique_ptr<PracEngine> prac_;
+    std::unique_ptr<AcbTracker> acb_;
+    std::unique_ptr<TbRfmScheduler> tbRfm_;
+
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::deque<Entry> queue_;
+
+    /** Completed-in-future requests waiting for their done time. */
+    struct InFlight
+    {
+        Entry entry;
+        Cycle doneAt;
+    };
+    std::vector<InFlight> inFlight_;
+
+    std::vector<Cycle> nextRefreshAt_;
+    Maintenance maint_;
+    std::vector<std::uint32_t> hitStreak_;
+    std::array<std::uint64_t, 4> rfmCounts_{};
+    Rng obfuscationRng_{0};
+    Cycle nextObfuscationDrawAt_ = kNeverCycle;
+    std::uint32_t rfmPbRotation_ = 0;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_MEM_CONTROLLER_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory request descriptor exchanged between cores/agents and the
+ * memory controller.
+ */
+
+#ifndef PRACLEAK_MEM_REQUEST_H
+#define PRACLEAK_MEM_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "mem/address_mapper.h"
+
+namespace pracleak {
+
+/** Request flavor.  Writes are posted (complete at data transfer). */
+enum class ReqType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One cache-line request. */
+struct Request
+{
+    ReqType type = ReqType::Read;
+    Addr addr = 0;
+    std::uint32_t coreId = 0;
+
+    Cycle arrival = 0;          //!< enqueue time at the controller
+    Cycle completed = kNeverCycle;
+
+    /** Filled by the controller on enqueue. */
+    DramAddress daddr{};
+
+    /** Invoked exactly once when the request completes. */
+    std::function<void(const Request &)> onComplete;
+
+    /** End-to-end controller latency, valid after completion. */
+    Cycle latency() const { return completed - arrival; }
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_MEM_REQUEST_H

@@ -1,0 +1,30 @@
+#include "prac/acb_tracker.h"
+
+#include <algorithm>
+
+namespace pracleak {
+
+AcbTracker::AcbTracker(std::uint32_t num_banks, std::uint32_t bat)
+    : counts_(num_banks, 0), bat_(bat)
+{
+}
+
+void
+AcbTracker::onActivate(std::uint32_t flat_bank)
+{
+    if (bat_ == 0)
+        return;
+    if (++counts_[flat_bank] >= bat_ && !pending_) {
+        pending_ = true;
+        ++rfmsRequested_;
+    }
+}
+
+void
+AcbTracker::onRfmIssued()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    pending_ = false;
+}
+
+} // namespace pracleak

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Host-side Activation-Based RFM (ACB-RFM / "Targeted RFM") tracker.
+ *
+ * The JEDEC spec lets the memory controller count activations per bank
+ * and proactively issue an RFM when any bank reaches the Bank
+ * Activation Threshold (BAT), so the DRAM rarely needs to assert
+ * Alert.  The paper's ABO+ACB-RFM baseline uses this; it avoids
+ * ABO-RFMs but remains activity-dependent and therefore leaky.
+ */
+
+#ifndef PRACLEAK_PRAC_ACB_TRACKER_H
+#define PRACLEAK_PRAC_ACB_TRACKER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pracleak {
+
+/** Per-bank ACT counter with a shared threshold. */
+class AcbTracker
+{
+  public:
+    /**
+     * @param num_banks Channel-wide bank count.
+     * @param bat       Bank Activation Threshold; 0 disables tracking.
+     */
+    AcbTracker(std::uint32_t num_banks, std::uint32_t bat);
+
+    /** Record an activation in @p flat_bank. */
+    void onActivate(std::uint32_t flat_bank);
+
+    /** Whether any bank has reached BAT. */
+    bool rfmNeeded() const { return pending_; }
+
+    /** An RFMab was issued; all bank counts reset. */
+    void onRfmIssued();
+
+    std::uint32_t bat() const { return bat_; }
+    std::uint64_t rfmsRequested() const { return rfmsRequested_; }
+
+  private:
+    std::vector<std::uint32_t> counts_;
+    std::uint32_t bat_;
+    bool pending_ = false;
+    std::uint64_t rfmsRequested_ = 0;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_PRAC_ACB_TRACKER_H

@@ -1,0 +1,143 @@
+#include "prac/mitigation_queue.h"
+
+#include <algorithm>
+
+namespace pracleak {
+
+const char *
+queueKindName(QueueKind kind)
+{
+    switch (kind) {
+      case QueueKind::SingleEntry: return "single-entry";
+      case QueueKind::Ideal: return "ideal";
+      case QueueKind::Fifo: return "fifo";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------- single
+
+SingleEntryQueue::SingleEntryQueue(std::uint32_t num_banks)
+    : entries_(num_banks)
+{
+}
+
+void
+SingleEntryQueue::onActivate(std::uint32_t bank, std::uint32_t row,
+                             std::uint32_t new_count)
+{
+    auto &entry = entries_[bank];
+    if (!entry || entry->row == row || new_count > entry->count)
+        entry = RowCount{row, new_count};
+}
+
+std::optional<std::uint32_t>
+SingleEntryQueue::selectVictim(std::uint32_t bank)
+{
+    const auto &entry = entries_[bank];
+    if (!entry)
+        return std::nullopt;
+    return entry->row;
+}
+
+void
+SingleEntryQueue::onMitigated(std::uint32_t bank, std::uint32_t row)
+{
+    auto &entry = entries_[bank];
+    if (entry && entry->row == row)
+        entry.reset();
+}
+
+std::optional<RowCount>
+SingleEntryQueue::entry(std::uint32_t bank) const
+{
+    return entries_[bank];
+}
+
+// ----------------------------------------------------------------- ideal
+
+IdealQueue::IdealQueue(const RowCounters &counters) : counters_(counters)
+{
+}
+
+void
+IdealQueue::onActivate(std::uint32_t, std::uint32_t, std::uint32_t)
+{
+    // The oracle reads the counter table directly; nothing to track.
+}
+
+std::optional<std::uint32_t>
+IdealQueue::selectVictim(std::uint32_t bank)
+{
+    const auto best = counters_.maxRow(bank);
+    if (!best)
+        return std::nullopt;
+    return best->row;
+}
+
+void
+IdealQueue::onMitigated(std::uint32_t, std::uint32_t)
+{
+}
+
+// ------------------------------------------------------------------ fifo
+
+FifoQueue::FifoQueue(std::uint32_t num_banks,
+                     std::uint32_t enqueue_threshold, std::size_t capacity)
+    : queues_(num_banks), threshold_(enqueue_threshold),
+      capacity_(capacity)
+{
+}
+
+void
+FifoQueue::onActivate(std::uint32_t bank, std::uint32_t row,
+                      std::uint32_t new_count)
+{
+    if (new_count != threshold_)
+        return;
+    auto &q = queues_[bank];
+    if (std::find(q.begin(), q.end(), row) != q.end())
+        return;
+    if (q.size() >= capacity_) {
+        ++overflows_;
+        return;
+    }
+    q.push_back(row);
+}
+
+std::optional<std::uint32_t>
+FifoQueue::selectVictim(std::uint32_t bank)
+{
+    auto &q = queues_[bank];
+    if (q.empty())
+        return std::nullopt;
+    return q.front();
+}
+
+void
+FifoQueue::onMitigated(std::uint32_t bank, std::uint32_t row)
+{
+    auto &q = queues_[bank];
+    if (!q.empty() && q.front() == row)
+        q.pop_front();
+}
+
+// --------------------------------------------------------------- factory
+
+std::unique_ptr<MitigationPolicy>
+makeMitigationPolicy(QueueKind kind, std::uint32_t num_banks,
+                     const RowCounters &counters,
+                     std::uint32_t fifo_threshold)
+{
+    switch (kind) {
+      case QueueKind::SingleEntry:
+        return std::make_unique<SingleEntryQueue>(num_banks);
+      case QueueKind::Ideal:
+        return std::make_unique<IdealQueue>(counters);
+      case QueueKind::Fifo:
+        return std::make_unique<FifoQueue>(num_banks, fifo_threshold);
+    }
+    return nullptr;
+}
+
+} // namespace pracleak

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * In-DRAM mitigation-queue designs.
+ *
+ * The PRAC specification leaves the mitigation queue to the vendor;
+ * the paper (Section 4.1) argues a single-entry *frequency-based*
+ * queue per bank suffices for TPRAC, and prior work shows FIFO queues
+ * are attackable.  Three designs are provided:
+ *
+ *  - SingleEntryQueue: tracks the most-activated row seen since the
+ *    last mitigation (TPRAC's proposal).
+ *  - IdealQueue: oracle that always knows the true per-bank maximum
+ *    (the UPRAC idealization).
+ *  - FifoQueue: enqueues rows as they cross a threshold (the insecure
+ *    strawman from QPRAC's analysis).
+ */
+
+#ifndef PRACLEAK_PRAC_MITIGATION_QUEUE_H
+#define PRACLEAK_PRAC_MITIGATION_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "prac/row_counters.h"
+
+namespace pracleak {
+
+/** Queue flavor selector. */
+enum class QueueKind : std::uint8_t
+{
+    SingleEntry,
+    Ideal,
+    Fifo,
+};
+
+const char *queueKindName(QueueKind kind);
+
+/**
+ * Per-channel mitigation policy: observes activations, and nominates a
+ * victim row per bank when an RFM (or TREF slot) arrives.
+ */
+class MitigationPolicy
+{
+  public:
+    virtual ~MitigationPolicy() = default;
+
+    /** A row in @p bank was activated, bringing it to @p new_count. */
+    virtual void onActivate(std::uint32_t bank, std::uint32_t row,
+                            std::uint32_t new_count) = 0;
+
+    /**
+     * Row to mitigate in @p bank, or nullopt when the policy has no
+     * candidate.  Does not change state; the caller follows up with
+     * onMitigated() once the mitigation is performed.
+     */
+    virtual std::optional<std::uint32_t>
+    selectVictim(std::uint32_t bank) = 0;
+
+    /** The given row was mitigated (counter reset). */
+    virtual void onMitigated(std::uint32_t bank, std::uint32_t row) = 0;
+};
+
+/** Single-entry frequency-based queue per bank (TPRAC Section 4.1). */
+class SingleEntryQueue : public MitigationPolicy
+{
+  public:
+    explicit SingleEntryQueue(std::uint32_t num_banks);
+
+    void onActivate(std::uint32_t bank, std::uint32_t row,
+                    std::uint32_t new_count) override;
+    std::optional<std::uint32_t> selectVictim(std::uint32_t bank) override;
+    void onMitigated(std::uint32_t bank, std::uint32_t row) override;
+
+    /** Current queue entry for a bank (testing/telemetry). */
+    std::optional<RowCount> entry(std::uint32_t bank) const;
+
+  private:
+    std::vector<std::optional<RowCount>> entries_;
+};
+
+/** Oracle policy backed directly by the full counter table (UPRAC). */
+class IdealQueue : public MitigationPolicy
+{
+  public:
+    explicit IdealQueue(const RowCounters &counters);
+
+    void onActivate(std::uint32_t bank, std::uint32_t row,
+                    std::uint32_t new_count) override;
+    std::optional<std::uint32_t> selectVictim(std::uint32_t bank) override;
+    void onMitigated(std::uint32_t bank, std::uint32_t row) override;
+
+  private:
+    const RowCounters &counters_;
+};
+
+/**
+ * FIFO queue of rows that crossed an enqueue threshold.  Bounded
+ * capacity; overflowing entries are dropped (the behaviour prior work
+ * exploits).
+ */
+class FifoQueue : public MitigationPolicy
+{
+  public:
+    FifoQueue(std::uint32_t num_banks, std::uint32_t enqueue_threshold,
+              std::size_t capacity = 4);
+
+    void onActivate(std::uint32_t bank, std::uint32_t row,
+                    std::uint32_t new_count) override;
+    std::optional<std::uint32_t> selectVictim(std::uint32_t bank) override;
+    void onMitigated(std::uint32_t bank, std::uint32_t row) override;
+
+    /** Entries dropped because the queue was full. */
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::vector<std::deque<std::uint32_t>> queues_;
+    std::uint32_t threshold_;
+    std::size_t capacity_;
+    std::uint64_t overflows_ = 0;
+};
+
+/** Factory keyed on QueueKind. */
+std::unique_ptr<MitigationPolicy>
+makeMitigationPolicy(QueueKind kind, std::uint32_t num_banks,
+                     const RowCounters &counters,
+                     std::uint32_t fifo_threshold);
+
+} // namespace pracleak
+
+#endif // PRACLEAK_PRAC_MITIGATION_QUEUE_H

@@ -1,0 +1,74 @@
+#include "prac/row_counters.h"
+
+namespace pracleak {
+
+RowCounters::RowCounters(std::uint32_t num_banks) : banks_(num_banks) {}
+
+std::uint32_t
+RowCounters::increment(std::uint32_t bank, std::uint32_t row)
+{
+    BankCounters &b = banks_[bank];
+    const std::uint32_t value = ++b.counts[row];
+
+    if (value > maxEverSeen_)
+        maxEverSeen_ = value;
+
+    if (b.maxValid) {
+        if (!b.cachedMax || value > b.cachedMax->count ||
+            b.cachedMax->row == row) {
+            b.cachedMax = RowCount{row, value};
+        }
+    }
+    return value;
+}
+
+std::uint32_t
+RowCounters::get(std::uint32_t bank, std::uint32_t row) const
+{
+    const auto &counts = banks_[bank].counts;
+    const auto it = counts.find(row);
+    return it == counts.end() ? 0 : it->second;
+}
+
+void
+RowCounters::reset(std::uint32_t bank, std::uint32_t row)
+{
+    BankCounters &b = banks_[bank];
+    b.counts.erase(row);
+    if (b.cachedMax && b.cachedMax->row == row) {
+        b.cachedMax.reset();
+        b.maxValid = false;
+    }
+}
+
+void
+RowCounters::resetAll()
+{
+    for (auto &b : banks_) {
+        b.counts.clear();
+        b.cachedMax.reset();
+        b.maxValid = true;
+    }
+}
+
+void
+RowCounters::recomputeMax(const BankCounters &bank) const
+{
+    bank.cachedMax.reset();
+    for (const auto &[row, count] : bank.counts) {
+        if (!bank.cachedMax || count > bank.cachedMax->count)
+            bank.cachedMax = RowCount{row, count};
+    }
+    bank.maxValid = true;
+}
+
+std::optional<RowCount>
+RowCounters::maxRow(std::uint32_t bank) const
+{
+    const BankCounters &b = banks_[bank];
+    if (!b.maxValid)
+        recomputeMax(b);
+    return b.cachedMax;
+}
+
+} // namespace pracleak

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-row activation counters (the "PRAC" in PRAC).
+ *
+ * Counters are stored sparsely per bank: real devices dedicate counter
+ * cells per row, but a simulation only needs entries for rows that
+ * were actually touched since the last reset.  The per-bank maximum is
+ * cached and recomputed lazily so the idealized UPRAC policy ("always
+ * mitigate the most-activated row") stays cheap.
+ */
+
+#ifndef PRACLEAK_PRAC_ROW_COUNTERS_H
+#define PRACLEAK_PRAC_ROW_COUNTERS_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace pracleak {
+
+/** A (row, activation-count) pair. */
+struct RowCount
+{
+    std::uint32_t row = 0;
+    std::uint32_t count = 0;
+};
+
+/** Sparse per-bank activation counters with cached per-bank maxima. */
+class RowCounters
+{
+  public:
+    explicit RowCounters(std::uint32_t num_banks);
+
+    /** Increment the counter of (bank, row); returns the new value. */
+    std::uint32_t increment(std::uint32_t bank, std::uint32_t row);
+
+    /** Current counter value (0 if never activated since reset). */
+    std::uint32_t get(std::uint32_t bank, std::uint32_t row) const;
+
+    /** Reset one row's counter (mitigation side effect). */
+    void reset(std::uint32_t bank, std::uint32_t row);
+
+    /** Reset every counter (tREFW reset policy). */
+    void resetAll();
+
+    /** Most-activated row of @p bank, if any row has count > 0. */
+    std::optional<RowCount> maxRow(std::uint32_t bank) const;
+
+    /** Highest counter value ever observed (security telemetry). */
+    std::uint32_t maxEverSeen() const { return maxEverSeen_; }
+
+    /** Number of distinct rows currently tracked in @p bank. */
+    std::size_t trackedRows(std::uint32_t bank) const
+    {
+        return banks_[bank].counts.size();
+    }
+
+  private:
+    struct BankCounters
+    {
+        std::unordered_map<std::uint32_t, std::uint32_t> counts;
+        mutable std::optional<RowCount> cachedMax;
+        mutable bool maxValid = true;
+    };
+
+    void recomputeMax(const BankCounters &bank) const;
+
+    std::vector<BankCounters> banks_;
+    std::uint32_t maxEverSeen_ = 0;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_PRAC_ROW_COUNTERS_H

@@ -1,0 +1,73 @@
+#include "tprac/tb_rfm.h"
+
+#include "common/log.h"
+
+namespace pracleak {
+
+TbRfmConfig
+TbRfmConfig::forNbo(std::uint32_t nbo, bool counter_reset,
+                    const DramSpec &spec, bool tref_co_design)
+{
+    const FeintingParams p = FeintingParams::fromSpec(spec);
+    const double window_ns = maxSafeWindowNs(nbo, counter_reset, p);
+    if (window_ns <= 0.0)
+        fatal("no TB-Window can protect NBO=" + std::to_string(nbo));
+
+    TbRfmConfig config;
+    config.windowCycles = nsToCycles(window_ns);
+    config.trefCoDesign = tref_co_design;
+    return config;
+}
+
+TbRfmScheduler::TbRfmScheduler(const TbRfmConfig &config,
+                               PracEngine *engine)
+    : config_(config), engine_(engine),
+      nextAt_(config.windowCycles ? config.windowCycles : kNeverCycle)
+{
+}
+
+bool
+TbRfmScheduler::due(Cycle now) const
+{
+    return enabled() && now >= nextAt_;
+}
+
+void
+TbRfmScheduler::advance(Cycle now)
+{
+    // Deadlines are anchored to the schedule, not to the issue time,
+    // so service jitter cannot accumulate into drift; if servicing
+    // fell behind by more than a full window, realign from now.
+    nextAt_ += config_.windowCycles;
+    if (nextAt_ <= now)
+        nextAt_ = now + config_.windowCycles;
+}
+
+bool
+TbRfmScheduler::trySkipWithTref(Cycle now)
+{
+    if (!config_.trefCoDesign || !engine_)
+        return false;
+    // Skip only when every rank received a TREF mitigation within the
+    // current window: each bank then already got its queue mitigation
+    // for this interval and the Feinting bound still holds.
+    const Cycle oldest = engine_->oldestRecentTref();
+    if (oldest == kNeverCycle ||
+        oldest + config_.windowCycles <= now)
+        return false;
+    engine_->markTrefBaseline();
+    ++skipped_;
+    advance(now);
+    return true;
+}
+
+void
+TbRfmScheduler::onRfmIssued(Cycle now)
+{
+    ++issued_;
+    if (engine_)
+        engine_->markTrefBaseline();
+    advance(now);
+}
+
+} // namespace pracleak

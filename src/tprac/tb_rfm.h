@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Timing-Based RFM scheduler -- the heart of the TPRAC defense.
+ *
+ * TB-RFMs are issued at a fixed wall-clock period (TB-Window),
+ * completely independent of memory activity, which severs the link
+ * between row activations and observable RFM latency spikes.  The
+ * scheduler owns nothing but a deadline register (the paper's 24-bit
+ * "RFM Interval Register") plus the optional TREF co-design: when a
+ * full Targeted-Refresh round already mitigated every bank during the
+ * current window, the scheduled TB-RFM is skipped without loss of
+ * security (Section 4.3).
+ */
+
+#ifndef PRACLEAK_TPRAC_TB_RFM_H
+#define PRACLEAK_TPRAC_TB_RFM_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/dram_spec.h"
+#include "prac/prac_engine.h"
+#include "tprac/analysis.h"
+
+namespace pracleak {
+
+/** Static configuration of the TB-RFM mechanism. */
+struct TbRfmConfig
+{
+    /** Period between TB-RFMs in cycles; 0 disables the mechanism. */
+    Cycle windowCycles = 0;
+
+    /** Allow TREF rounds to substitute for scheduled TB-RFMs. */
+    bool trefCoDesign = false;
+
+    /**
+     * Section-7.2 extension (TPRAC-PB): issue per-bank RFMs on a
+     * rotation instead of channel-stalling RFMabs.  Every bank is
+     * still mitigated once per windowCycles, so the security analysis
+     * is unchanged, but each event blocks only one bank for tRFMpb.
+     */
+    bool perBank = false;
+
+    /**
+     * Derive the window for a given Back-Off threshold from the
+     * Feinting analysis (largest window with TMAX < nbo).
+     */
+    static TbRfmConfig forNbo(std::uint32_t nbo, bool counter_reset,
+                              const DramSpec &spec,
+                              bool tref_co_design = false);
+};
+
+/** Deadline tracker polled by the memory controller every cycle. */
+class TbRfmScheduler
+{
+  public:
+    TbRfmScheduler(const TbRfmConfig &config, PracEngine *engine);
+
+    bool enabled() const { return config_.windowCycles != 0; }
+
+    /** Whether a TB-RFM is due at @p now. */
+    bool due(Cycle now) const;
+
+    /**
+     * Attempt to satisfy a due TB-RFM with banked TREF credit.
+     * Returns true (and advances the deadline) on success.
+     */
+    bool trySkipWithTref(Cycle now);
+
+    /** A TB-RFM was issued at @p now; advance the deadline. */
+    void onRfmIssued(Cycle now);
+
+    Cycle nextDeadline() const { return nextAt_; }
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t skipped() const { return skipped_; }
+
+  private:
+    void advance(Cycle now);
+
+    TbRfmConfig config_;
+    PracEngine *engine_;
+    Cycle nextAt_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t skipped_ = 0;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_TPRAC_TB_RFM_H

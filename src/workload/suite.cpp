@@ -1,0 +1,134 @@
+#include "workload/suite.h"
+
+#include "common/log.h"
+
+namespace pracleak {
+
+const char *
+intensityName(MemIntensity intensity)
+{
+    switch (intensity) {
+      case MemIntensity::High: return "high";
+      case MemIntensity::Medium: return "medium";
+      case MemIntensity::Low: return "low";
+    }
+    return "?";
+}
+
+namespace {
+
+WorkloadParams
+make(const std::string &name, std::uint64_t footprint_lines,
+     double non_mem_per_mem, double seq_prob, double write_fraction,
+     double dependent_prob, std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.footprintLines = footprint_lines;
+    p.nonMemPerMem = non_mem_per_mem;
+    p.seqProb = seq_prob;
+    p.writeFraction = write_fraction;
+    p.dependentProb = dependent_prob;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<SuiteEntry>
+standardSuite()
+{
+    std::vector<SuiteEntry> suite;
+
+    // High intensity (RBMPKI >= 10): large footprints, frequent
+    // random jumps.  Modeled after the paper's milc/lbm/mcf class.
+    // 2^23 lines = 512 MB per core.
+    suite.push_back({make("h_rand_heavy", 1ULL << 23, 19.0, 0.00, 0.20,
+                          0.00, 11),
+                     MemIntensity::High, false, {}});
+    suite.push_back({make("h_rand_write", 1ULL << 23, 24.0, 0.10, 0.40,
+                          0.00, 12),
+                     MemIntensity::High, false, {}});
+    suite.push_back({make("h_scan_mix", 1ULL << 23, 14.0, 0.50, 0.25,
+                          0.00, 13),
+                     MemIntensity::High, false, {}});
+    suite.push_back({make("h_chase", 1ULL << 22, 29.0, 0.00, 0.05,
+                          0.50, 14),
+                     MemIntensity::High, false, {}});
+    suite.push_back({make("h_stream_wide", 1ULL << 23, 9.0, 0.90, 0.30,
+                          0.00, 15),
+                     MemIntensity::High, false, {}});
+
+    // Medium intensity (1 <= RBMPKI < 10): moderate footprints and
+    // locality (the bzip2/gcc/astar class).
+    suite.push_back({make("m_blend", 1ULL << 19, 59.0, 0.75, 0.25,
+                          0.00, 21),
+                     MemIntensity::Medium, false, {}});
+    suite.push_back({make("m_sparse", 1ULL << 20, 99.0, 0.50, 0.15,
+                          0.00, 22),
+                     MemIntensity::Medium, false, {}});
+    suite.push_back({make("m_stride", 1ULL << 18, 65.0, 0.80, 0.20,
+                          0.10, 23),
+                     MemIntensity::Medium, false, {}});
+
+    // Low intensity (RBMPKI < 1): cache-resident footprints (the
+    // namd/povray/gamess class).  Footprints fit the private L2 or
+    // the shared LLC, and are dense enough to warm quickly.
+    suite.push_back({make("l_resident", 1ULL << 12, 9.0, 0.80, 0.25,
+                          0.00, 31),
+                     MemIntensity::Low, false, {}});
+    suite.push_back({make("l_tiny_hot", 1ULL << 10, 14.0, 0.50, 0.30,
+                          0.00, 32),
+                     MemIntensity::Low, false, {}});
+    suite.push_back({make("l_compute", 1ULL << 10, 49.0, 0.80, 0.20,
+                          0.00, 33),
+                     MemIntensity::Low, false, {}});
+
+    // Cloud-style heterogeneous mix: one distinct thread per core
+    // (the cassandra/nutch/cloud9/classification class -- all High).
+    SuiteEntry cloud;
+    cloud.params = make("cloud_mix", 1ULL << 23, 19.0, 0.20, 0.25,
+                        0.05, 41);
+    cloud.intensity = MemIntensity::High;
+    cloud.heterogeneous = true;
+    cloud.perCore = {
+        make("cloud_serve", 1ULL << 23, 19.0, 0.10, 0.30, 0.00, 42),
+        make("cloud_index", 1ULL << 22, 24.0, 0.40, 0.20, 0.10, 43),
+        make("cloud_cache", 1ULL << 21, 39.0, 0.60, 0.35, 0.00, 44),
+        make("cloud_analyze", 1ULL << 23, 14.0, 0.00, 0.15, 0.00, 45),
+    };
+    suite.push_back(std::move(cloud));
+
+    return suite;
+}
+
+std::vector<SuiteEntry>
+suiteByIntensity(MemIntensity intensity)
+{
+    std::vector<SuiteEntry> out;
+    for (auto &entry : standardSuite())
+        if (entry.intensity == intensity)
+            out.push_back(std::move(entry));
+    return out;
+}
+
+std::vector<std::unique_ptr<WorkloadSource>>
+instantiate(const SuiteEntry &entry, std::uint32_t num_cores)
+{
+    std::vector<std::unique_ptr<WorkloadSource>> sources;
+    sources.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        if (entry.heterogeneous) {
+            if (entry.perCore.empty())
+                fatal("heterogeneous suite entry without per-core list");
+            const WorkloadParams &p =
+                entry.perCore[c % entry.perCore.size()];
+            sources.push_back(makeWorkload(p, c));
+        } else {
+            sources.push_back(makeWorkload(entry.params, c));
+        }
+    }
+    return sources;
+}
+
+} // namespace pracleak

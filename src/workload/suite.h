@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The evaluation workload suite.
+ *
+ * Mirrors the paper's Table 4 structure: workloads are grouped by
+ * row-buffer misses per kilo-instruction (RBMPKI) into High (>= 10),
+ * Medium ([1, 10)), and Low (< 1) categories, and by provenance into
+ * "spec2k6-like" / "spec2k17-like" homogeneous 4-core mixes plus a
+ * heterogeneous "cloud-like" mix.  Names are synthetic on purpose --
+ * see DESIGN.md for the substitution rationale.
+ */
+
+#ifndef PRACLEAK_WORKLOAD_SUITE_H
+#define PRACLEAK_WORKLOAD_SUITE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace_core.h"
+#include "workload/synthetic.h"
+
+namespace pracleak {
+
+/** RBMPKI category (Table 4). */
+enum class MemIntensity : std::uint8_t
+{
+    High,
+    Medium,
+    Low,
+};
+
+const char *intensityName(MemIntensity intensity);
+
+/** One suite entry. */
+struct SuiteEntry
+{
+    WorkloadParams params;
+    MemIntensity intensity;
+
+    /** True for the heterogeneous cloud-style mix. */
+    bool heterogeneous = false;
+
+    /** Per-core parameter overrides for heterogeneous entries. */
+    std::vector<WorkloadParams> perCore;
+};
+
+/** The full evaluation suite (12 entries across the categories). */
+std::vector<SuiteEntry> standardSuite();
+
+/** Subset of the suite with the given intensity. */
+std::vector<SuiteEntry> suiteByIntensity(MemIntensity intensity);
+
+/**
+ * Instantiate the @p num_cores workload sources for a suite entry
+ * (homogeneous copies, or the per-core list for heterogeneous mixes).
+ */
+std::vector<std::unique_ptr<WorkloadSource>>
+instantiate(const SuiteEntry &entry, std::uint32_t num_cores);
+
+} // namespace pracleak
+
+#endif // PRACLEAK_WORKLOAD_SUITE_H

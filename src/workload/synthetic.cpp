@@ -1,0 +1,43 @@
+#include "workload/synthetic.h"
+
+namespace pracleak {
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
+                                     Addr base)
+    : params_(params), base_(base), rng_(params.seed)
+{
+}
+
+TraceOp
+SyntheticWorkload::next()
+{
+    TraceOp op;
+    // Geometric-ish gap around the configured mean keeps the
+    // instruction mix irregular without a heavy distribution draw.
+    const double mean = params_.nonMemPerMem;
+    op.nonMemInstrs = static_cast<std::uint32_t>(
+        rng_.range(static_cast<std::uint64_t>(2.0 * mean) + 1));
+    op.isMem = true;
+
+    if (!rng_.chance(params_.seqProb))
+        cursor_ = rng_.range(params_.footprintLines);
+    else
+        cursor_ = (cursor_ + 1) % params_.footprintLines;
+
+    op.addr = base_ + (cursor_ << kLineShift);
+    op.isWrite = rng_.chance(params_.writeFraction);
+    if (!op.isWrite)
+        op.dependent = rng_.chance(params_.dependentProb);
+    return op;
+}
+
+std::unique_ptr<WorkloadSource>
+makeWorkload(const WorkloadParams &params, std::uint32_t core_id)
+{
+    WorkloadParams p = params;
+    p.seed = params.seed * 0x9E3779B97F4A7C15ULL + core_id + 1;
+    const Addr base = static_cast<Addr>(core_id) << 35; // 32 GB apart
+    return std::make_unique<SyntheticWorkload>(p, base);
+}
+
+} // namespace pracleak

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for physical <-> DRAM address translation, including the
+ * structural properties the attacks rely on (pages sharing rows under
+ * MOP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "mem/address_mapper.h"
+
+namespace pracleak {
+namespace {
+
+TEST(AddressMapper, RoundTripMop)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr addr = (rng.next() & ((1ULL << 37) - 1)) &
+                          ~static_cast<Addr>(kLineBytes - 1);
+        const DramAddress da = mapper.map(addr);
+        EXPECT_EQ(mapper.compose(da), addr);
+    }
+}
+
+TEST(AddressMapper, RoundTripRowInterleaved)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::RowInterleaved);
+    Rng rng(4);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr addr = (rng.next() & ((1ULL << 37) - 1)) &
+                          ~static_cast<Addr>(kLineBytes - 1);
+        const DramAddress da = mapper.map(addr);
+        EXPECT_EQ(mapper.compose(da), addr);
+    }
+}
+
+TEST(AddressMapper, ComposeMapInverse)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        DramAddress da;
+        da.rank = static_cast<std::uint32_t>(rng.range(4));
+        da.bankGroup = static_cast<std::uint32_t>(rng.range(8));
+        da.bank = static_cast<std::uint32_t>(rng.range(4));
+        da.row = static_cast<std::uint32_t>(rng.range(128 * 1024));
+        da.col = static_cast<std::uint32_t>(rng.range(128));
+        const DramAddress back = mapper.map(mapper.compose(da));
+        EXPECT_TRUE(back.sameRow(da));
+        EXPECT_EQ(back.col, da.col);
+    }
+}
+
+TEST(AddressMapper, MopKeepsFourLineBlocksTogether)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    const Addr base = 0x12340000;
+    const DramAddress first = mapper.map(base);
+    for (Addr off = 0; off < 4 * kLineBytes; off += kLineBytes) {
+        const DramAddress da = mapper.map(base + off);
+        EXPECT_TRUE(da.sameRow(first));
+    }
+    // The fifth line moves to another bank.
+    EXPECT_FALSE(mapper.map(base + 4 * kLineBytes).sameBank(first));
+}
+
+TEST(AddressMapper, MopSpreadsPageAcrossBanks)
+{
+    // A 4 KB page (64 lines) must touch many banks -- the bank-level
+    // parallelism property that lets two processes share a row.
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    std::set<std::uint32_t> banks;
+    for (Addr off = 0; off < 4096; off += kLineBytes)
+        banks.insert(mapper.flatBank(mapper.map(0x40000000 + off)));
+    EXPECT_GE(banks.size(), 16u);
+}
+
+TEST(AddressMapper, MopRowHoldsManyPages)
+{
+    // The 128 columns of one row must come from multiple distinct
+    // 4 KB-aligned physical regions (shared-row attack surface).
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    const DramAddress row0{0, 0, 0, 1000, 0};
+    std::set<Addr> pages;
+    for (std::uint32_t col = 0; col < 128; ++col) {
+        DramAddress da = row0;
+        da.col = col;
+        pages.insert(mapper.compose(da) >> 12);
+    }
+    EXPECT_GE(pages.size(), 16u);
+}
+
+TEST(AddressMapper, RowInterleavedKeepsRowContiguous)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::RowInterleaved);
+    const DramAddress first = mapper.map(0x80000000);
+    for (Addr off = 0; off < 128 * kLineBytes; off += kLineBytes)
+        EXPECT_TRUE(mapper.map(0x80000000 + off).sameRow(first));
+}
+
+TEST(AddressMapper, DistinctAddressesDistinctCoordinates)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>
+        seen;
+    for (Addr line = 0; line < 4096; ++line) {
+        const DramAddress da = mapper.map(line << kLineShift);
+        seen.insert({mapper.flatBank(da), da.row, da.col});
+    }
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(AddressMapper, FlatBankCoversFullRange)
+{
+    const AddressMapper mapper(DramOrg{}, MappingScheme::Mop4);
+    std::set<std::uint32_t> banks;
+    for (Addr line = 0; line < 1024; ++line)
+        banks.insert(mapper.flatBank(mapper.map(line << kLineShift)));
+    EXPECT_EQ(banks.size(), 128u);
+}
+
+} // namespace
+} // namespace pracleak

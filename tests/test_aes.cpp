@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Correctness tests for the T-table AES-128 victim implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/aes128t.h"
+
+namespace pracleak {
+namespace {
+
+Aes128T::Key
+keyFromBytes(std::initializer_list<int> bytes)
+{
+    Aes128T::Key key{};
+    int i = 0;
+    for (int b : bytes)
+        key[i++] = static_cast<std::uint8_t>(b);
+    return key;
+}
+
+TEST(Aes, Fips197Vector)
+{
+    // FIPS-197 Appendix C.1 AES-128 test vector.
+    const Aes128T::Key key = keyFromBytes(
+        {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09,
+         0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
+    Aes128T::Block pt{};
+    const std::uint8_t pt_bytes[16] = {0x00, 0x11, 0x22, 0x33, 0x44,
+                                       0x55, 0x66, 0x77, 0x88, 0x99,
+                                       0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+                                       0xff};
+    std::copy(std::begin(pt_bytes), std::end(pt_bytes), pt.begin());
+
+    const std::uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a,
+                                       0x7b, 0x04, 0x30, 0xd8, 0xcd,
+                                       0xb7, 0x80, 0x70, 0xb4, 0xc5,
+                                       0x5a};
+
+    const Aes128T aes(key);
+    const Aes128T::Block ct = aes.encrypt(pt);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(ct[i], expected[i]) << "byte " << i;
+}
+
+TEST(Aes, Nist800_38aVector)
+{
+    // SP 800-38A F.1.1 ECB-AES128 first block.
+    const Aes128T::Key key = keyFromBytes(
+        {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+         0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+    Aes128T::Block pt{};
+    const std::uint8_t pt_bytes[16] = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e,
+                                       0x40, 0x9f, 0x96, 0xe9, 0x3d,
+                                       0x7e, 0x11, 0x73, 0x93, 0x17,
+                                       0x2a};
+    std::copy(std::begin(pt_bytes), std::end(pt_bytes), pt.begin());
+
+    const std::uint8_t expected[16] = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d,
+                                       0x7a, 0x36, 0x60, 0xa8, 0x9e,
+                                       0xca, 0xf3, 0x24, 0x66, 0xef,
+                                       0x97};
+
+    const Aes128T aes(key);
+    const Aes128T::Block ct = aes.encrypt(pt);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(ct[i], expected[i]) << "byte " << i;
+}
+
+TEST(Aes, TableStructure)
+{
+    // Each Te table must contain the S-box in the byte lane the final
+    // round extracts, and the MixColumns multiples elsewhere.
+    for (int x = 0; x < 256; ++x) {
+        const auto s =
+            static_cast<std::uint32_t>(Aes128T::sbox(
+                static_cast<std::uint8_t>(x)));
+        EXPECT_EQ((Aes128T::tableWord(2, x) >> 24) & 0xff, s);
+        EXPECT_EQ((Aes128T::tableWord(3, x) >> 16) & 0xff, s);
+        EXPECT_EQ((Aes128T::tableWord(0, x) >> 8) & 0xff, s);
+        EXPECT_EQ(Aes128T::tableWord(1, x) & 0xff, s);
+    }
+}
+
+TEST(Aes, TablesAreRotationsOfEachOther)
+{
+    for (int x = 0; x < 256; ++x) {
+        const std::uint32_t t0 = Aes128T::tableWord(0, x);
+        EXPECT_EQ(Aes128T::tableWord(1, x), (t0 >> 8) | (t0 << 24));
+        EXPECT_EQ(Aes128T::tableWord(2, x), (t0 >> 16) | (t0 << 16));
+        EXPECT_EQ(Aes128T::tableWord(3, x), (t0 >> 24) | (t0 << 8));
+    }
+}
+
+TEST(Aes, HookSeesFirstRoundIndices)
+{
+    // The first-round lookup indices must equal p_i XOR k_i in the
+    // byte positions the attack exploits (x0 = p0 ^ k0 indexes Te0).
+    const Aes128T::Key key = keyFromBytes(
+        {0x5a, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09,
+         0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
+    Aes128T aes(key);
+
+    Aes128T::Block pt{};
+    pt[0] = 0x3c;
+
+    std::vector<std::uint8_t> te0_round1;
+    aes.setAccessHook(
+        [&](int table, std::uint8_t index, int round) {
+            if (table == 0 && round == 1)
+                te0_round1.push_back(index);
+        });
+    aes.encrypt(pt);
+
+    ASSERT_EQ(te0_round1.size(), 4u);
+    EXPECT_EQ(te0_round1[0], 0x3c ^ 0x5a); // x0 = p0 ^ k0
+    EXPECT_EQ(te0_round1[1], pt[4] ^ key[4]);
+    EXPECT_EQ(te0_round1[2], pt[8] ^ key[8]);
+    EXPECT_EQ(te0_round1[3], pt[12] ^ key[12]);
+}
+
+TEST(Aes, HookCountsAllLookups)
+{
+    Aes128T aes(Aes128T::Key{});
+    std::map<int, int> per_round;
+    aes.setAccessHook([&](int, std::uint8_t, int round) {
+        ++per_round[round];
+    });
+    aes.encrypt(Aes128T::Block{});
+    // 16 lookups in each of 10 rounds.
+    ASSERT_EQ(per_round.size(), 10u);
+    for (const auto &[round, count] : per_round)
+        EXPECT_EQ(count, 16) << "round " << round;
+}
+
+TEST(Aes, EncryptIsDeterministic)
+{
+    const Aes128T aes(keyFromBytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                    12, 13, 14, 15, 16}));
+    Aes128T::Block pt{};
+    pt[7] = 0x42;
+    EXPECT_EQ(aes.encrypt(pt), aes.encrypt(pt));
+}
+
+TEST(Aes, DifferentKeysDiffer)
+{
+    Aes128T::Block pt{};
+    const Aes128T a(keyFromBytes({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                  0, 0, 0, 0}));
+    const Aes128T b(keyFromBytes({1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                  0, 0, 0, 0}));
+    EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+} // namespace
+} // namespace pracleak

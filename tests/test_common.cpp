@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, stats, time conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pracleak {
+namespace {
+
+TEST(Types, NsToCyclesRoundsUp)
+{
+    EXPECT_EQ(nsToCycles(0.25), 1u);
+    EXPECT_EQ(nsToCycles(0.26), 2u);
+    EXPECT_EQ(nsToCycles(1.0), 4u);
+    EXPECT_EQ(nsToCycles(350.0), 1400u);
+    EXPECT_EQ(nsToCycles(0.0), 0u);
+}
+
+TEST(Types, RoundTrip)
+{
+    for (const double ns : {16.0, 36.0, 52.0, 350.0, 3900.0})
+        EXPECT_DOUBLE_EQ(cyclesToNs(nsToCycles(ns)), ns);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 3ull, 16ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.range(bound), bound);
+    }
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Stats, CountersCreateOnUse)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("x"), 0u);
+    ++stats.counter("x");
+    stats.counter("x") += 5;
+    EXPECT_EQ(stats.get("x"), 6u);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    StatSet stats;
+    stats.counter("a") = 3;
+    stats.histogram("h").sample(1.0);
+    stats.reset();
+    EXPECT_EQ(stats.get("a"), 0u);
+    EXPECT_FALSE(stats.hasHistogram("h"));
+}
+
+TEST(Histogram, TracksMoments)
+{
+    Histogram h(10.0, 16);
+    for (const double v : {5.0, 15.0, 25.0, 35.0})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 35.0);
+}
+
+TEST(Histogram, PercentileApproximation)
+{
+    Histogram h(1.0, 128);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(90), 90.0, 2.0);
+}
+
+TEST(Histogram, OverflowDoesNotCrash)
+{
+    Histogram h(1.0, 4);
+    h.sample(1000.0);
+    h.sample(-5.0);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+} // namespace
+} // namespace pracleak

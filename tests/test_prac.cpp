@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the PRAC building blocks: row counters, mitigation
+ * queues, the ABO state machine, the ACB tracker, and TREF handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prac/acb_tracker.h"
+#include "prac/mitigation_queue.h"
+#include "prac/prac_engine.h"
+#include "prac/row_counters.h"
+
+namespace pracleak {
+namespace {
+
+TEST(RowCounters, IncrementAndGet)
+{
+    RowCounters counters(4);
+    EXPECT_EQ(counters.get(0, 5), 0u);
+    EXPECT_EQ(counters.increment(0, 5), 1u);
+    EXPECT_EQ(counters.increment(0, 5), 2u);
+    EXPECT_EQ(counters.get(0, 5), 2u);
+    EXPECT_EQ(counters.get(1, 5), 0u); // banks independent
+}
+
+TEST(RowCounters, MaxRowTracksArgmax)
+{
+    RowCounters counters(2);
+    counters.increment(0, 1);
+    counters.increment(0, 2);
+    counters.increment(0, 2);
+    auto best = counters.maxRow(0);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(best->row, 2u);
+    EXPECT_EQ(best->count, 2u);
+}
+
+TEST(RowCounters, MaxRecomputedAfterReset)
+{
+    RowCounters counters(1);
+    for (int i = 0; i < 5; ++i)
+        counters.increment(0, 10);
+    for (int i = 0; i < 3; ++i)
+        counters.increment(0, 20);
+    counters.reset(0, 10); // remove current max
+    auto best = counters.maxRow(0);
+    ASSERT_TRUE(best);
+    EXPECT_EQ(best->row, 20u);
+    EXPECT_EQ(best->count, 3u);
+}
+
+TEST(RowCounters, ResetAllClears)
+{
+    RowCounters counters(2);
+    counters.increment(0, 1);
+    counters.increment(1, 2);
+    counters.resetAll();
+    EXPECT_EQ(counters.get(0, 1), 0u);
+    EXPECT_EQ(counters.get(1, 2), 0u);
+    EXPECT_FALSE(counters.maxRow(0));
+}
+
+TEST(RowCounters, MaxEverSeenSurvivesResets)
+{
+    RowCounters counters(1);
+    for (int i = 0; i < 7; ++i)
+        counters.increment(0, 3);
+    counters.resetAll();
+    EXPECT_EQ(counters.maxEverSeen(), 7u);
+}
+
+TEST(RowCounters, MaxMatchesBruteForceUnderRandomOps)
+{
+    RowCounters counters(1);
+    Rng rng(17);
+    std::unordered_map<std::uint32_t, std::uint32_t> model;
+    for (int step = 0; step < 20000; ++step) {
+        const auto row = static_cast<std::uint32_t>(rng.range(50));
+        if (rng.chance(0.05)) {
+            counters.reset(0, row);
+            model.erase(row);
+        } else {
+            counters.increment(0, row);
+            ++model[row];
+        }
+        if (step % 500 == 0) {
+            auto best = counters.maxRow(0);
+            std::uint32_t expect_max = 0;
+            for (auto &[r, c] : model)
+                expect_max = std::max(expect_max, c);
+            if (expect_max == 0) {
+                EXPECT_FALSE(best);
+            } else {
+                ASSERT_TRUE(best);
+                EXPECT_EQ(best->count, expect_max);
+                EXPECT_EQ(model[best->row], expect_max);
+            }
+        }
+    }
+}
+
+TEST(SingleEntryQueue, TracksMostActivatedRow)
+{
+    SingleEntryQueue queue(2);
+    queue.onActivate(0, 1, 5);
+    queue.onActivate(0, 2, 3); // lower count: ignored
+    EXPECT_EQ(queue.selectVictim(0).value(), 1u);
+    queue.onActivate(0, 2, 6); // now higher
+    EXPECT_EQ(queue.selectVictim(0).value(), 2u);
+}
+
+TEST(SingleEntryQueue, SameRowUpdatesInPlace)
+{
+    SingleEntryQueue queue(1);
+    queue.onActivate(0, 7, 10);
+    queue.onActivate(0, 7, 11);
+    const auto entry = queue.entry(0);
+    ASSERT_TRUE(entry);
+    EXPECT_EQ(entry->count, 11u);
+}
+
+TEST(SingleEntryQueue, MitigationClearsEntry)
+{
+    SingleEntryQueue queue(1);
+    queue.onActivate(0, 7, 10);
+    queue.onMitigated(0, 7);
+    EXPECT_FALSE(queue.selectVictim(0));
+}
+
+TEST(IdealQueue, AlwaysReturnsTrueMax)
+{
+    RowCounters counters(1);
+    IdealQueue queue(counters);
+    for (int i = 0; i < 4; ++i)
+        counters.increment(0, 11);
+    counters.increment(0, 22);
+    EXPECT_EQ(queue.selectVictim(0).value(), 11u);
+    counters.reset(0, 11);
+    EXPECT_EQ(queue.selectVictim(0).value(), 22u);
+}
+
+TEST(FifoQueue, EnqueuesAtThresholdOnce)
+{
+    FifoQueue queue(1, 5, 4);
+    for (std::uint32_t c = 1; c <= 7; ++c)
+        queue.onActivate(0, 9, c);
+    EXPECT_EQ(queue.selectVictim(0).value(), 9u);
+    queue.onMitigated(0, 9);
+    EXPECT_FALSE(queue.selectVictim(0));
+}
+
+TEST(FifoQueue, OverflowDropsRows)
+{
+    FifoQueue queue(1, 1, 2);
+    queue.onActivate(0, 1, 1);
+    queue.onActivate(0, 2, 1);
+    queue.onActivate(0, 3, 1); // dropped
+    EXPECT_EQ(queue.overflows(), 1u);
+}
+
+TEST(AcbTracker, RequestsRfmAtBat)
+{
+    AcbTracker tracker(4, 3);
+    tracker.onActivate(2);
+    tracker.onActivate(2);
+    EXPECT_FALSE(tracker.rfmNeeded());
+    tracker.onActivate(2);
+    EXPECT_TRUE(tracker.rfmNeeded());
+    tracker.onRfmIssued();
+    EXPECT_FALSE(tracker.rfmNeeded());
+    EXPECT_EQ(tracker.rfmsRequested(), 1u);
+}
+
+TEST(AcbTracker, ZeroBatDisables)
+{
+    AcbTracker tracker(4, 0);
+    for (int i = 0; i < 100; ++i)
+        tracker.onActivate(0);
+    EXPECT_FALSE(tracker.rfmNeeded());
+}
+
+// ----------------------------------------------------------- PracEngine
+
+DramSpec
+smallSpec(std::uint32_t nbo, std::uint32_t nmit)
+{
+    DramSpec spec = DramSpec::ddr5_8000b();
+    spec.prac.nbo = nbo;
+    spec.prac.nmit = nmit;
+    return spec;
+}
+
+TEST(PracEngine, AlertAssertsAtNbo)
+{
+    const DramSpec spec = smallSpec(8, 1);
+    PracEngine engine(spec, PracEngineConfig{});
+    for (int i = 0; i < 7; ++i)
+        engine.onActivate(0, 42, i);
+    EXPECT_FALSE(engine.alertAsserted());
+    engine.onActivate(0, 42, 7);
+    EXPECT_TRUE(engine.alertAsserted());
+    EXPECT_EQ(engine.lastAlertRow(), 42u);
+    EXPECT_EQ(engine.alerts(), 1u);
+}
+
+TEST(PracEngine, AlertClearsAfterNmitRfms)
+{
+    const DramSpec spec = smallSpec(8, 2);
+    PracEngineConfig config;
+    config.queue = QueueKind::Ideal;
+    PracEngine engine(spec, config);
+    for (int i = 0; i < 8; ++i)
+        engine.onActivate(0, 42, i);
+    ASSERT_TRUE(engine.alertAsserted());
+    engine.onRfm(100);
+    EXPECT_TRUE(engine.alertAsserted()); // needs nmit = 2
+    engine.onRfm(200);
+    EXPECT_FALSE(engine.alertAsserted());
+}
+
+TEST(PracEngine, RfmMitigatesAndResetsCounter)
+{
+    const DramSpec spec = smallSpec(8, 1);
+    PracEngineConfig config;
+    config.queue = QueueKind::Ideal;
+    PracEngine engine(spec, config);
+    for (int i = 0; i < 8; ++i)
+        engine.onActivate(0, 42, i);
+    engine.onRfm(100);
+    EXPECT_EQ(engine.counters().get(0, 42), 0u);
+    EXPECT_GT(engine.mitigatedRows(), 0u);
+}
+
+TEST(PracEngine, AboDelayBlocksImmediateRealert)
+{
+    const DramSpec spec = smallSpec(4, 2);
+    PracEngineConfig config;
+    config.queue = QueueKind::SingleEntry;
+    PracEngine engine(spec, config);
+    // Row A crosses NBO.
+    for (int i = 0; i < 4; ++i)
+        engine.onActivate(0, 1, i);
+    ASSERT_TRUE(engine.alertAsserted());
+    engine.onRfm(10);
+    engine.onRfm(20);
+    ASSERT_FALSE(engine.alertAsserted());
+    // Row B is already past NBO (counter kept growing in another
+    // bank); the very next ACT cannot re-assert during ABODelay.
+    for (int i = 0; i < 4; ++i)
+        engine.onActivate(1, 2, 100 + i);
+    // ABODelay = nmit = 2 ACTs; the 4 ACTs above exhaust it and the
+    // final ones re-assert.
+    EXPECT_TRUE(engine.alertAsserted());
+}
+
+TEST(PracEngine, CounterResetAtTrefw)
+{
+    const DramSpec spec = smallSpec(100, 1);
+    PracEngineConfig config;
+    config.counterResetAtTrefw = true;
+    PracEngine engine(spec, config);
+    engine.onActivate(0, 7, 10);
+    EXPECT_EQ(engine.counters().get(0, 7), 1u);
+    engine.maybePeriodicReset(spec.timing.tREFW + 1);
+    EXPECT_EQ(engine.counters().get(0, 7), 0u);
+}
+
+TEST(PracEngine, NoResetWhenDisabled)
+{
+    const DramSpec spec = smallSpec(100, 1);
+    PracEngineConfig config;
+    config.counterResetAtTrefw = false;
+    PracEngine engine(spec, config);
+    engine.onActivate(0, 7, 10);
+    engine.maybePeriodicReset(spec.timing.tREFW * 3);
+    EXPECT_EQ(engine.counters().get(0, 7), 1u);
+}
+
+TEST(PracEngine, TrefMitigatesEveryKthRefresh)
+{
+    const DramSpec spec = smallSpec(100, 1);
+    PracEngineConfig config;
+    config.queue = QueueKind::Ideal;
+    config.trefPeriodRefs = 2;
+    PracEngine engine(spec, config);
+
+    engine.onActivate(0, 7, 10); // bank 0 lives in rank 0
+    engine.onRefresh(0, 100);    // 1st REF: no TREF
+    EXPECT_EQ(engine.trefMitigations(), 0u);
+    EXPECT_EQ(engine.counters().get(0, 7), 1u);
+    engine.onRefresh(0, 200);    // 2nd REF: TREF fires
+    EXPECT_EQ(engine.trefMitigations(), 1u);
+    EXPECT_EQ(engine.counters().get(0, 7), 0u);
+}
+
+TEST(PracEngine, TrefRoundAccountingPerRank)
+{
+    const DramSpec spec = smallSpec(100, 1);
+    PracEngineConfig config;
+    config.trefPeriodRefs = 1;
+    PracEngine engine(spec, config);
+
+    engine.markTrefBaseline();
+    engine.onRefresh(0, 100);
+    EXPECT_EQ(engine.minTrefRoundsSinceMark(), 0u); // ranks 1-3 pending
+    for (std::uint32_t rank = 1; rank < 4; ++rank)
+        engine.onRefresh(rank, 200 + rank);
+    EXPECT_EQ(engine.minTrefRoundsSinceMark(), 1u);
+    engine.markTrefBaseline();
+    EXPECT_EQ(engine.minTrefRoundsSinceMark(), 0u);
+}
+
+TEST(PracEngine, DisabledAboNeverAlerts)
+{
+    const DramSpec spec = smallSpec(4, 1);
+    PracEngineConfig config;
+    config.aboEnabled = false;
+    PracEngine engine(spec, config);
+    for (int i = 0; i < 100; ++i)
+        engine.onActivate(0, 1, i);
+    EXPECT_FALSE(engine.alertAsserted());
+    EXPECT_EQ(engine.alerts(), 0u);
+}
+
+} // namespace
+} // namespace pracleak

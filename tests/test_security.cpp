@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Security property tests: the Feinting/Wave attack (the proven
+ * worst-case pattern for RFM-based mitigations) is run against the
+ * full controller, and TPRAC configured from the analytic TB-Window
+ * must never let any row reach the Back-Off threshold (Section 4.2.3).
+ * A FIFO mitigation queue, by contrast, must be beatable -- the
+ * motivation for the frequency-based queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/harness.h"
+#include "mem/controller.h"
+#include "tprac/analysis.h"
+#include "tprac/tb_rfm.h"
+
+namespace pracleak {
+namespace {
+
+/**
+ * Memory-level Feinting attacker: uniformly sweeps a decoy pool each
+ * round, drops mitigated rows (it knows the queue state by assumption
+ * of full system knowledge), and finally concentrates on the target.
+ */
+class FeintingAgent : public MemAgent
+{
+  public:
+    FeintingAgent(MemoryController &mem, std::uint32_t pool_size,
+                  std::uint32_t target_row)
+        : mem_(mem), targetRow_(target_row)
+    {
+        for (std::uint32_t i = 0; i < pool_size; ++i)
+            pool_.push_back(target_row + 1 + i);
+        pool_.push_back(target_row);
+    }
+
+    void
+    tick(MemoryController &mem, Cycle) override
+    {
+        while (outstanding_ < 2) {
+            const std::uint32_t row = nextRow();
+            Request req;
+            req.addr = mem.mapper().compose(
+                DramAddress{0, 0, 0, row, 0});
+            req.onComplete = [this](const Request &) {
+                --outstanding_;
+            };
+            if (!mem.enqueue(std::move(req)))
+                return;
+            ++outstanding_;
+        }
+    }
+
+  private:
+    std::uint32_t
+    nextRow()
+    {
+        // Refresh the pool from the engine's view: drop mitigated
+        // rows (counter returned to zero) except the target.
+        if (cursor_ >= pool_.size()) {
+            cursor_ = 0;
+            std::vector<std::uint32_t> alive;
+            const std::uint32_t bank = 0;
+            for (const std::uint32_t row : pool_) {
+                if (row == targetRow_ ||
+                    mem_.prac().counters().get(bank, row) > 0)
+                    alive.push_back(row);
+            }
+            pool_ = std::move(alive);
+        }
+        if (pool_.size() <= 1)
+            return targetRow_; // final phase: hammer the target
+        return pool_[cursor_++];
+    }
+
+    MemoryController &mem_;
+    std::uint32_t targetRow_;
+    std::vector<std::uint32_t> pool_;
+    std::size_t cursor_ = 0;
+    std::uint32_t outstanding_ = 0;
+};
+
+/** Feinting vs TPRAC across NBO values and reset policies. */
+class FeintingVsTprac
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>>
+{
+};
+
+TEST_P(FeintingVsTprac, NoRowEverReachesNbo)
+{
+    const auto [nbo, counter_reset] = GetParam();
+
+    // Full worst-case pressure is reached within one tREFW; scale the
+    // refresh window down (a consistent scaled universe: the analytic
+    // TB-Window shrinks with it) so the complete Feinting attack fits
+    // in a unit-test budget.
+    DramSpec spec = DramSpec::ddr5_8000b();
+    spec.prac.nbo = nbo;
+    spec.timing.tREFW = nsToCycles(2.0e6); // 2 ms
+
+    ControllerConfig config;
+    config.mode = MitigationMode::Tprac;
+    config.prac.queue = QueueKind::SingleEntry;
+    config.prac.counterResetAtTrefw = counter_reset;
+    config.tbRfm = TbRfmConfig::forNbo(nbo, counter_reset, spec);
+
+    AttackHarness harness(spec, config);
+
+    // Pool sized at the analytic optimum for this (scaled) window.
+    const FeintingParams fp = FeintingParams::fromSpec(spec);
+    const double window_ns = cyclesToNs(config.tbRfm.windowCycles);
+    const std::uint64_t act_w = actsPerWindow(window_ns, fp);
+    const auto pool = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        std::min<std::uint64_t>(
+            maxActsPerTrefw(window_ns, fp) /
+                std::max<std::uint64_t>(act_w, 1),
+            fp.rowsPerBank),
+        2048));
+
+    FeintingAgent attacker(harness.mem(), pool, 5000);
+    harness.add(&attacker);
+
+    // Run the complete attack: every decoy must be eliminated plus
+    // the final all-on-target round.
+    harness.run(config.tbRfm.windowCycles * (pool + 16));
+
+    EXPECT_EQ(harness.mem().prac().alerts(), 0u)
+        << "TPRAC let the Alert fire";
+    EXPECT_EQ(harness.mem().rfmCount(RfmReason::Abo), 0u);
+    const std::uint32_t reached =
+        harness.mem().prac().counters().maxEverSeen();
+    EXPECT_LT(reached, nbo);
+    // The attack must have exerted real pressure: at least one full
+    // window of concentrated activations on some row.
+    EXPECT_GT(reached, static_cast<std::uint32_t>(act_w));
+    EXPECT_GT(harness.mem().rfmCount(RfmReason::TimingBased), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeintingVsTprac,
+    ::testing::Combine(::testing::Values(128u, 256u, 512u, 1024u),
+                       ::testing::Bool()));
+
+TEST(Security, SingleEntryQueueMatchesIdealUnderFeinting)
+{
+    // Section 4.2.3: the single-entry frequency queue achieves the
+    // same security as the UPRAC oracle.  Run the same attack against
+    // both and compare the worst counter value seen.
+    DramSpec spec = DramSpec::ddr5_8000b();
+    spec.prac.nbo = 512;
+
+    auto max_count = [&](QueueKind queue) {
+        ControllerConfig config;
+        config.mode = MitigationMode::Tprac;
+        config.prac.queue = queue;
+        config.tbRfm = TbRfmConfig::forNbo(512, true, spec);
+        AttackHarness harness(spec, config);
+        FeintingAgent attacker(harness.mem(), 256, 5000);
+        harness.add(&attacker);
+        harness.run(config.tbRfm.windowCycles * 48);
+        EXPECT_EQ(harness.mem().prac().alerts(), 0u);
+        return harness.mem().prac().counters().maxEverSeen();
+    };
+
+    const std::uint32_t single = max_count(QueueKind::SingleEntry);
+    const std::uint32_t ideal = max_count(QueueKind::Ideal);
+    EXPECT_LT(single, 512u);
+    EXPECT_LT(ideal, 512u);
+    // "Equivalent security": within one TB-Window of activations.
+    EXPECT_NEAR(static_cast<double>(single),
+                static_cast<double>(ideal), 80.0);
+}
+
+TEST(Security, AboOnlyIsBreachedByFeinting)
+{
+    // Sanity for the attack itself: with no proactive mitigation the
+    // same pattern must reach NBO and raise Alerts.
+    DramSpec spec = DramSpec::ddr5_8000b();
+    spec.prac.nbo = 256;
+
+    ControllerConfig config;
+    config.mode = MitigationMode::AboOnly;
+    config.prac.queue = QueueKind::SingleEntry;
+
+    AttackHarness harness(spec, config);
+    FeintingAgent attacker(harness.mem(), 64, 5000);
+    harness.add(&attacker);
+    harness.run(nsToCycles(2.0e6));
+
+    EXPECT_GT(harness.mem().prac().alerts(), 0u);
+}
+
+TEST(Security, FifoQueueWastesMitigations)
+{
+    // QPRAC/MOAT motivation: a FIFO queue mitigates stale rows while
+    // the attacker redirects to fresh ones; the frequency queue does
+    // not.  Compare ABO pressure under the same TB-RFM budget with a
+    // FIFO whose enqueue threshold the attacker straddles.
+    DramSpec spec = DramSpec::ddr5_8000b();
+    spec.prac.nbo = 256;
+
+    auto alerts_with = [&](QueueKind queue) {
+        ControllerConfig config;
+        config.mode = MitigationMode::Tprac;
+        config.prac.queue = queue;
+        config.prac.fifoThreshold = 32;
+        // Deliberately lax window: 4x the safe one.
+        config.tbRfm.windowCycles =
+            TbRfmConfig::forNbo(256, true, spec).windowCycles * 4;
+        AttackHarness harness(spec, config);
+        FeintingAgent attacker(harness.mem(), 128, 5000);
+        harness.add(&attacker);
+        harness.run(config.tbRfm.windowCycles * 32);
+        return harness.mem().prac().counters().maxEverSeen();
+    };
+
+    // Under an under-provisioned window the frequency queue still
+    // suppresses the maximum better than (or equal to) FIFO.
+    EXPECT_LE(alerts_with(QueueKind::SingleEntry),
+              alerts_with(QueueKind::Fifo));
+}
+
+} // namespace
+} // namespace pracleak

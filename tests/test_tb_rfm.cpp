@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the TB-RFM scheduler and its TREF co-design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tprac/tb_rfm.h"
+
+namespace pracleak {
+namespace {
+
+DramSpec
+spec()
+{
+    return DramSpec::ddr5_8000b();
+}
+
+TEST(TbRfmConfig, ForNboMatchesAnalysis)
+{
+    const DramSpec s = spec();
+    const TbRfmConfig config = TbRfmConfig::forNbo(1024, true, s);
+    // Paper: ~1.6 tREFI at NRH/NBO = 1024 with counter reset.
+    const double windows =
+        static_cast<double>(config.windowCycles) / s.timing.tREFI;
+    EXPECT_GT(windows, 1.2);
+    EXPECT_LT(windows, 2.0);
+}
+
+TEST(TbRfmConfig, SmallerNboSmallerWindow)
+{
+    const DramSpec s = spec();
+    Cycle prev = 0;
+    for (std::uint32_t nbo : {128u, 256u, 512u, 1024u}) {
+        const TbRfmConfig config = TbRfmConfig::forNbo(nbo, true, s);
+        EXPECT_GT(config.windowCycles, prev);
+        prev = config.windowCycles;
+    }
+}
+
+TEST(TbRfmScheduler, FiresEveryWindow)
+{
+    TbRfmConfig config;
+    config.windowCycles = 1000;
+    TbRfmScheduler sched(config, nullptr);
+
+    EXPECT_FALSE(sched.due(999));
+    EXPECT_TRUE(sched.due(1000));
+    sched.onRfmIssued(1000);
+    EXPECT_FALSE(sched.due(1999));
+    EXPECT_TRUE(sched.due(2000));
+    EXPECT_EQ(sched.issued(), 1u);
+}
+
+TEST(TbRfmScheduler, DeadlineAnchoredNotDrifting)
+{
+    TbRfmConfig config;
+    config.windowCycles = 1000;
+    TbRfmScheduler sched(config, nullptr);
+
+    // Service 300 cycles late: the next deadline stays on schedule.
+    sched.onRfmIssued(1300);
+    EXPECT_EQ(sched.nextDeadline(), 2000u);
+}
+
+TEST(TbRfmScheduler, RealignsAfterLongStall)
+{
+    TbRfmConfig config;
+    config.windowCycles = 1000;
+    TbRfmScheduler sched(config, nullptr);
+
+    sched.onRfmIssued(5500); // missed several windows
+    EXPECT_EQ(sched.nextDeadline(), 6500u);
+}
+
+TEST(TbRfmScheduler, DisabledNeverDue)
+{
+    TbRfmScheduler sched(TbRfmConfig{}, nullptr);
+    EXPECT_FALSE(sched.enabled());
+    EXPECT_FALSE(sched.due(1u << 30));
+}
+
+TEST(TbRfmScheduler, TrefSkipConsumesCredit)
+{
+    DramSpec s = spec();
+    PracEngineConfig prac_config;
+    prac_config.trefPeriodRefs = 1;
+    PracEngine engine(s, prac_config);
+
+    TbRfmConfig config;
+    config.windowCycles = 1000;
+    config.trefCoDesign = true;
+    TbRfmScheduler sched(config, &engine);
+
+    // No TREF rounds yet: cannot skip.
+    EXPECT_FALSE(sched.trySkipWithTref(1000));
+
+    // A full round (one TREF per rank) earns one skip.
+    for (std::uint32_t rank = 0; rank < s.org.ranks; ++rank)
+        engine.onRefresh(rank, 500);
+    EXPECT_TRUE(sched.trySkipWithTref(1000));
+    EXPECT_EQ(sched.skipped(), 1u);
+    // Credit consumed.
+    EXPECT_FALSE(sched.trySkipWithTref(2000));
+}
+
+TEST(TbRfmScheduler, CoDesignDisabledNeverSkips)
+{
+    DramSpec s = spec();
+    PracEngineConfig prac_config;
+    prac_config.trefPeriodRefs = 1;
+    PracEngine engine(s, prac_config);
+
+    TbRfmConfig config;
+    config.windowCycles = 1000;
+    config.trefCoDesign = false;
+    TbRfmScheduler sched(config, &engine);
+
+    for (std::uint32_t rank = 0; rank < s.org.ranks; ++rank)
+        engine.onRefresh(rank, 500);
+    EXPECT_FALSE(sched.trySkipWithTref(1000));
+}
+
+TEST(TbRfmScheduler, PartialTrefRoundEarnsNothing)
+{
+    DramSpec s = spec();
+    PracEngineConfig prac_config;
+    prac_config.trefPeriodRefs = 1;
+    PracEngine engine(s, prac_config);
+
+    TbRfmConfig config;
+    config.windowCycles = 1000;
+    config.trefCoDesign = true;
+    TbRfmScheduler sched(config, &engine);
+
+    // Only 3 of 4 ranks got their TREF: one bank family unprotected,
+    // the TB-RFM must not be skipped.
+    for (std::uint32_t rank = 0; rank < 3; ++rank)
+        engine.onRefresh(rank, 500);
+    EXPECT_FALSE(sched.trySkipWithTref(1000));
+}
+
+} // namespace
+} // namespace pracleak
