@@ -1,118 +1,18 @@
 /**
  * @file
- * Ablation: the Section-7.1 obfuscation alternative (random RFM
- * injection) vs. TPRAC.
- *
- * Sweeps the injection probability and measures (a) the residual
- * leakage through the activity-based covert channel -- both with the
- * naive threshold receiver and with a count-based classifier the
- * paper sketches for a "more sophisticated" attacker -- and (b) the
- * performance cost on a memory-intensive workload.  The expected
- * outcome matches the paper's discussion: obfuscation trades residual
- * leakage for tunable cost; only TPRAC drives the channel to zero
- * information.
+ * Obfuscation-ablation driver: random RFM injection vs TPRAC.  The
+ * experiment is registered as "ablation_obfuscation"
+ * (src/sim/scenarios_ablation.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "attack/covert.h"
-#include "common/rng.h"
-#include "perf_common.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
 
 namespace {
-
-std::vector<bool>
-randomBits(std::size_t n, std::uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<bool> bits(n);
-    for (std::size_t i = 0; i < n; ++i)
-        bits[i] = rng.chance(0.5);
-    return bits;
-}
-
-/**
- * Fraction of bits a *majority-agnostic* receiver still decodes:
- * with injected RFMs, "spike present" misfires on Bit-0 windows, so
- * we also score the stronger decoder that the paper anticipates --
- * decide Bit-1 only if the window saw *more* spikes than the expected
- * injection background (approximated here by re-running the channel
- * and comparing window outcomes against an idle calibration run).
- */
-double
-channelAccuracy(MitigationMode mode, double p,
-                const std::vector<bool> &message)
-{
-    CovertParams params;
-    params.nbo = 256;
-    params.mode = mode;
-    params.randomRfmPerTrefi = p;
-    const CovertResult result = runActivityCovert(params, message);
-    return 1.0 - result.errorRate();
-}
-
-double
-perfOverhead(MitigationMode mode, double p)
-{
-    DesignConfig design{"x", mode, 1024, 1, 0, true};
-    RunBudget budget;
-    budget.measure = 100'000;
-
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
-    SystemConfig base_cfg = makeSystemConfig(
-        DesignConfig{"base", MitigationMode::NoMitigation, 1024, 1, 0,
-                     true},
-        budget);
-    SystemConfig cfg = makeSystemConfig(design, budget);
-    cfg.mem.randomRfmPerTrefi = p;
-
-    System baseline(base_cfg, instantiate(entry, 4));
-    System system(cfg, instantiate(entry, 4));
-    const RunResult base = baseline.run();
-    const RunResult run = system.run();
-    return 1.0 - normalizedPerf(run, base);
-}
-
-void
-printAblation()
-{
-    const auto message = randomBits(32, 77);
-
-    std::printf("\n=== Ablation: obfuscation (random RFMs) vs TPRAC "
-                "===\n");
-    std::printf("%-22s %16s %14s\n", "defense",
-                "channel accuracy", "perf overhead");
-
-    const double none =
-        channelAccuracy(MitigationMode::AboOnly, 0.0, message);
-    std::printf("%-22s %15.0f%% %13.1f%%\n", "none (ABO-only)",
-                100.0 * none,
-                100.0 * perfOverhead(MitigationMode::AboOnly, 0.0));
-
-    for (const double p : {0.125, 0.25, 0.5}) {
-        const double acc =
-            channelAccuracy(MitigationMode::Obfuscation, p, message);
-        const double cost =
-            perfOverhead(MitigationMode::Obfuscation, p);
-        std::printf("random RFM p=%-9.3f %15.0f%% %13.1f%%\n", p,
-                    100.0 * acc, 100.0 * cost);
-    }
-
-    const double tprac =
-        channelAccuracy(MitigationMode::Tprac, 0.0, message);
-    std::printf("%-22s %15.0f%% %13.1f%%\n", "TPRAC", 100.0 * tprac,
-                100.0 * perfOverhead(MitigationMode::Tprac, 0.0));
-
-    std::printf("\n(chance = ~50%%: obfuscation pushes the naive "
-                "receiver toward chance as p grows but Bit-1 windows "
-                "always carry their ABO spike; TPRAC removes the "
-                "dependence entirely)\n\n");
-}
 
 void
 BM_ObfuscatedWindow(benchmark::State &state)
@@ -135,7 +35,7 @@ BENCHMARK(BM_ObfuscatedWindow)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printAblation();
+    sim::runAndPrint("ablation_obfuscation");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,256 +1,31 @@
 /**
  * @file
- * Ablation: mitigation-queue designs (paper Sections 2.3 and 4.2.3).
- *
- * Runs the same Feinting/Wave worst-case attacker against TPRAC
- * backed by the single-entry frequency queue, the idealized UPRAC
- * oracle, and a FIFO queue, comparing the highest activation count
- * any row ever reaches -- the quantity the Back-Off threshold bounds.
- * The single-entry queue must match the oracle; the FIFO must trail.
+ * Mitigation-queue ablation driver: Feinting and FIFO-overflow
+ * attacks against the queue designs.  The experiment (including the
+ * attacker agents) is registered as "ablation_queues"
+ * (src/sim/scenarios_ablation.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <vector>
+#include "sim/runner.h"
 
-#include "attack/harness.h"
-#include "mem/controller.h"
-#include "tprac/tb_rfm.h"
-
-using namespace pracleak;
+using namespace pracleak::sim;
 
 namespace {
-
-/** Memory-level Feinting attacker (same pattern as test_security). */
-class FeintingAgent : public MemAgent
-{
-  public:
-    FeintingAgent(MemoryController &mem, std::uint32_t pool_size,
-                  std::uint32_t target_row)
-        : mem_(mem), targetRow_(target_row)
-    {
-        for (std::uint32_t i = 0; i < pool_size; ++i)
-            pool_.push_back(target_row + 1 + i);
-        pool_.push_back(target_row);
-    }
-
-    void
-    tick(MemoryController &mem, Cycle) override
-    {
-        while (outstanding_ < 2) {
-            Request req;
-            req.addr = mem.mapper().compose(
-                DramAddress{0, 0, 0, nextRow(), 0});
-            req.onComplete = [this](const Request &) {
-                --outstanding_;
-            };
-            if (!mem.enqueue(std::move(req)))
-                return;
-            ++outstanding_;
-        }
-    }
-
-  private:
-    std::uint32_t
-    nextRow()
-    {
-        if (cursor_ >= pool_.size()) {
-            cursor_ = 0;
-            std::vector<std::uint32_t> alive;
-            for (const std::uint32_t row : pool_)
-                if (row == targetRow_ ||
-                    mem_.prac().counters().get(0, row) > 0)
-                    alive.push_back(row);
-            pool_ = std::move(alive);
-        }
-        if (pool_.size() <= 1)
-            return targetRow_;
-        return pool_[cursor_++];
-    }
-
-    MemoryController &mem_;
-    std::uint32_t targetRow_;
-    std::vector<std::uint32_t> pool_;
-    std::size_t cursor_ = 0;
-    std::uint32_t outstanding_ = 0;
-};
-
-struct QueueOutcome
-{
-    std::uint32_t maxCounter;
-    std::uint64_t alerts;
-    std::uint64_t mitigatedRows;
-};
-
-/**
- * The FIFO-specific exploit from the QPRAC/MOAT analyses: keep the
- * bounded FIFO overflowing with decoy rows that cross the enqueue
- * threshold, so the target row's single crossing is dropped and it
- * can then be hammered indefinitely without ever being mitigated.
- */
-class FifoOverflowAgent : public MemAgent
-{
-  public:
-    FifoOverflowAgent(std::uint32_t target_row,
-                      std::uint32_t threshold)
-        : targetRow_(target_row), threshold_(threshold)
-    {
-    }
-
-    void
-    tick(MemoryController &mem, Cycle) override
-    {
-        while (outstanding_ < 2) {
-            Request req;
-            req.addr = mem.mapper().compose(
-                DramAddress{0, 0, 0, nextRow(), 0});
-            req.onComplete = [this](const Request &) {
-                --outstanding_;
-            };
-            if (!mem.enqueue(std::move(req)))
-                return;
-            ++outstanding_;
-        }
-    }
-
-  private:
-    std::uint32_t
-    nextRow()
-    {
-        // Phase layout, repeated with fresh decoys:
-        //   (A,B) x threshold  -- two decoys cross the threshold
-        //   (T,C) x threshold-4 -- target creeps up under cover
-        const std::uint32_t phase_len = 4 * threshold_ - 8;
-        const std::uint32_t pos = step_ % phase_len;
-        const std::uint32_t phase = step_ / phase_len;
-        ++step_;
-        const std::uint32_t base = 10000 + phase * 3;
-        if (pos < 2 * threshold_)
-            return base + (pos & 1); // decoys A/B
-        if ((pos & 1) == 0)
-            return targetRow_;
-        return base + 2; // decoy C (stays below threshold)
-    }
-
-    std::uint32_t targetRow_;
-    std::uint32_t threshold_;
-    std::uint32_t step_ = 0;
-    std::uint32_t outstanding_ = 0;
-};
-
-QueueOutcome
-fifoExploit(QueueKind queue, std::uint32_t nbo)
-{
-    DramSpec spec = DramSpec::ddr5_8000b();
-    spec.prac.nbo = nbo;
-    spec.timing.tREFW = nsToCycles(2.0e6);
-
-    ControllerConfig config;
-    config.mode = MitigationMode::Tprac;
-    config.prac.queue = queue;
-    config.prac.fifoThreshold = 16;
-    config.prac.counterResetAtTrefw = false; // favour the attacker
-    config.tbRfm = TbRfmConfig::forNbo(nbo, false, spec);
-
-    AttackHarness harness(spec, config);
-    FifoOverflowAgent attacker(5000, 16);
-    harness.add(&attacker);
-    harness.run(config.tbRfm.windowCycles * 256);
-
-    return QueueOutcome{
-        harness.mem().prac().counters().maxEverSeen(),
-        harness.mem().prac().alerts(),
-        harness.mem().prac().mitigatedRows(),
-    };
-}
-
-QueueOutcome
-attackQueue(QueueKind queue, std::uint32_t nbo, double window_scale)
-{
-    // Scaled universe (2 ms tREFW) so the complete worst-case attack
-    // finishes in a bench budget; see tests/test_security.cpp.
-    DramSpec spec = DramSpec::ddr5_8000b();
-    spec.prac.nbo = nbo;
-    spec.timing.tREFW = nsToCycles(2.0e6);
-
-    ControllerConfig config;
-    config.mode = MitigationMode::Tprac;
-    config.prac.queue = queue;
-    config.prac.fifoThreshold = nbo / 8;
-    config.tbRfm = TbRfmConfig::forNbo(nbo, true, spec);
-    config.tbRfm.windowCycles = static_cast<Cycle>(
-        config.tbRfm.windowCycles * window_scale);
-
-    const FeintingParams fp = FeintingParams::fromSpec(spec);
-    const double window_ns = cyclesToNs(config.tbRfm.windowCycles);
-    const std::uint64_t act_w =
-        std::max<std::uint64_t>(actsPerWindow(window_ns, fp), 1);
-    const auto pool = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        maxActsPerTrefw(window_ns, fp) / act_w, 2048));
-
-    AttackHarness harness(spec, config);
-    FeintingAgent attacker(harness.mem(), pool, 5000);
-    harness.add(&attacker);
-    harness.run(config.tbRfm.windowCycles * (pool + 16));
-
-    return QueueOutcome{
-        harness.mem().prac().counters().maxEverSeen(),
-        harness.mem().prac().alerts(),
-        harness.mem().prac().mitigatedRows(),
-    };
-}
-
-void
-printAblation()
-{
-    std::printf("\n=== Ablation: mitigation-queue design under the "
-                "Feinting attack ===\n");
-    std::printf("(max row counter reached; NBO is the safety bound)\n");
-    std::printf("%-14s %8s | %12s %12s %8s\n", "queue", "window",
-                "max-counter", "mitigations", "alerts");
-
-    for (const double scale : {1.0, 2.0}) {
-        for (const auto &[name, kind] :
-             {std::pair<const char *, QueueKind>{
-                  "single-entry", QueueKind::SingleEntry},
-              {"ideal (UPRAC)", QueueKind::Ideal},
-              {"fifo", QueueKind::Fifo}}) {
-            const QueueOutcome out = attackQueue(kind, 512, scale);
-            std::printf("%-14s %7.1fx | %12u %12llu %8llu\n", name,
-                        scale, out.maxCounter,
-                        static_cast<unsigned long long>(
-                            out.mitigatedRows),
-                        static_cast<unsigned long long>(out.alerts));
-        }
-    }
-    std::printf("\n(single-entry tracks the oracle at the safe window "
-                "-- paper Section 4.2.3)\n");
-
-    std::printf("\n--- FIFO-overflow exploit (QPRAC/MOAT motivation) "
-                "---\n");
-    std::printf("%-14s | %12s %8s  (NBO = 512)\n", "queue",
-                "max-counter", "alerts");
-    for (const auto &[name, kind] :
-         {std::pair<const char *, QueueKind>{"single-entry",
-                                             QueueKind::SingleEntry},
-          {"fifo", QueueKind::Fifo}}) {
-        const QueueOutcome out = fifoExploit(kind, 512);
-        std::printf("%-14s | %12u %8llu\n", name, out.maxCounter,
-                    static_cast<unsigned long long>(out.alerts));
-    }
-    std::printf("(the overflowing FIFO drops the target's single "
-                "enqueue chance, letting it reach NBO; the frequency "
-                "queue keeps tracking it)\n\n");
-}
 
 void
 BM_FeintingAttackRun(benchmark::State &state)
 {
+    registerBuiltinScenarios();
+    SweepOptions options;
+    options.progress = false;
+    options.overrides["queue"] = {JsonValue("single-entry")};
+    options.overrides["window_scale"] = {JsonValue(1.0)};
     for (auto _ : state) {
-        const QueueOutcome out =
-            attackQueue(QueueKind::SingleEntry, 512, 1.0);
-        benchmark::DoNotOptimize(out.maxCounter);
+        const SweepResult result =
+            runScenarioByName("ablation_queues", options);
+        benchmark::DoNotOptimize(result.rows.size());
     }
 }
 
@@ -261,7 +36,7 @@ BENCHMARK(BM_FeintingAttackRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printAblation();
+    runAndPrint("ablation_queues");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

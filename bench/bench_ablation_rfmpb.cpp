@@ -1,91 +1,32 @@
 /**
  * @file
- * Ablation: per-bank TB-RFMs (TPRAC-PB, the Section-7.2 extension)
- * vs. the standard all-bank TPRAC.
- *
- * Each RFMpb blocks only its target bank for tRFMpb (210 ns) instead
- * of stalling the whole channel for tRFMab (350 ns), so the bandwidth
- * loss that dominates TPRAC's overhead at low NRH largely disappears
- * while the per-bank mitigation cadence (and hence the Feinting
- * bound) is unchanged.
+ * TPRAC-PB ablation driver: per-bank vs all-bank TB-RFMs.  The
+ * experiment is registered as "ablation_rfmpb"
+ * (src/sim/scenarios_ablation.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
-
-double
-tpracOverhead(std::uint32_t nrh, bool per_bank,
-              const std::vector<SuiteEntry> &suite,
-              const RunBudget &budget)
-{
-    DesignConfig design{per_bank ? "tprac-pb" : "tprac",
-                        MitigationMode::Tprac, nrh, 1, 0, true};
-    std::vector<std::function<std::pair<RunResult, RunResult>()>> jobs;
-    for (const SuiteEntry &entry : suite) {
-        jobs.push_back([entry, design, budget, per_bank] {
-            SystemConfig base_cfg = makeSystemConfig(
-                DesignConfig{"base", MitigationMode::NoMitigation,
-                             design.nbo, 1, 0, true},
-                budget);
-            SystemConfig cfg = makeSystemConfig(design, budget);
-            cfg.mem.tbRfm.perBank = per_bank;
-            System baseline(base_cfg, instantiate(entry, 4));
-            System system(cfg, instantiate(entry, 4));
-            return std::make_pair(baseline.run(), system.run());
-        });
-    }
-    const auto pairs = runParallel(std::move(jobs));
-    double sum = 0.0;
-    for (const auto &[base, run] : pairs)
-        sum += normalizedPerf(run, base);
-    return 1.0 - sum / static_cast<double>(pairs.size());
-}
-
-void
-printAblation()
-{
-    RunBudget budget;
-    budget.measure = 150'000;
-    const auto suite = suiteByIntensity(MemIntensity::High);
-
-    std::printf("\n=== Ablation: TPRAC vs TPRAC-PB (per-bank RFM, "
-                "high-RBMPKI mean slowdown) ===\n");
-    std::printf("%8s %14s %14s\n", "NRH", "TPRAC (RFMab)",
-                "TPRAC-PB (RFMpb)");
-    for (const std::uint32_t nrh : {256u, 512u, 1024u, 2048u}) {
-        const double ab = tpracOverhead(nrh, false, suite, budget);
-        const double pb = tpracOverhead(nrh, true, suite, budget);
-        std::printf("%8u %13.1f%% %13.1f%%\n", nrh, 100.0 * ab,
-                    100.0 * pb);
-    }
-    std::printf("\n(the per-bank variant removes most of the "
-                "channel-stall overhead; it requires the spec change "
-                "the paper describes in Section 7.2)\n\n");
-}
 
 void
 BM_TpracPbRun(benchmark::State &state)
 {
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
+    const SuiteEntry entry =
+        findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
+    DesignConfig design{"tprac-pb", MitigationMode::Tprac, 512, 1, 0,
+                        true, true};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
     for (auto _ : state) {
-        SystemConfig cfg = makeSystemConfig(
-            DesignConfig{"tprac-pb", MitigationMode::Tprac, 512, 1, 0,
-                         true},
-            budget);
-        cfg.mem.tbRfm.perBank = true;
-        System system(cfg, instantiate(entry, 4));
-        const RunResult result = system.run();
+        const RunResult result = runOne(entry, design, budget);
         benchmark::DoNotOptimize(result.measureCycles);
     }
 }
@@ -97,7 +38,7 @@ BENCHMARK(BM_TpracPbRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printAblation();
+    runAndPrint("ablation_rfmpb");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

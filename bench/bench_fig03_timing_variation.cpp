@@ -1,123 +1,33 @@
 /**
  * @file
- * Reproduces Figure 3: timing variation of an attacker's memory
- * accesses with and without a concurrent Alert Back-Off, for 1, 2,
- * and 4 RFMs per ABO.
- *
- * The paper reports mean spike latencies of ~545 / 976 / 1669 ns at
- * PRAC levels 1 / 2 / 4, against a flat baseline; the table printed
- * here reproduces that shape (baseline latency, spike latency, and
- * spike count over a fixed observation window).
+ * Figure 3 driver: attacker latency with and without a concurrent
+ * Alert Back-Off.  The experiment lives in the scenario registry
+ * (src/sim/scenarios_attack.cpp) as "fig03_timing_variation"; this
+ * binary runs it with default parameters plus a microbenchmark of
+ * one characterization point.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <cstdio>
-#include <vector>
+#include "sim/runner.h"
 
-#include "attack/agents.h"
-#include "attack/harness.h"
-
-using namespace pracleak;
+using namespace pracleak::sim;
 
 namespace {
-
-struct Fig3Row
-{
-    std::string label;
-    double baseline_ns;
-    double spike_ns;
-    std::uint64_t spikes;
-    std::uint64_t alerts;
-};
-
-Fig3Row
-characterize(std::uint32_t nmit, bool with_victim)
-{
-    DramSpec spec = DramSpec::ddr5_8000b();
-    spec.prac.nbo = 256;
-    spec.prac.nmit = nmit;
-
-    ControllerConfig config;
-    config.mode = MitigationMode::AboOnly;
-    config.prac.queue = QueueKind::Ideal; // UPRAC, as in the paper
-    config.refreshEnabled = false;        // isolate ABO effects
-    AttackHarness harness(spec, config);
-    const AddressMapper &mapper = harness.mem().mapper();
-
-    ProbeAgent probe(mapper.compose(DramAddress{0, 0, 0, 3, 0}));
-    const DramAddress target{0, 4, 2, 0x100, 0};
-    std::vector<DramAddress> decoys;
-    for (std::uint32_t i = 0; i < 4; ++i)
-        decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
-    HammerAgent victim(mapper, target, decoys);
-
-    harness.add(&probe);
-    harness.add(&victim);
-
-    // 2 ms observation window (the paper's Fig. 3 x-axis), with the
-    // victim re-hammering to NBO whenever its previous burst ends.
-    const Cycle end = nsToCycles(2.0e6);
-    while (harness.now() < end) {
-        if (with_victim && victim.done())
-            victim.startHammer(spec.prac.nbo + spec.prac.aboAct + 4);
-        harness.step();
-    }
-
-    Fig3Row row;
-    row.label = with_victim ? std::to_string(nmit) + " RFM/ABO"
-                            : "no ABO";
-    double base_sum = 0.0;
-    std::uint64_t base_n = 0;
-    double spike_sum = 0.0;
-    row.spikes = 0;
-    for (const auto &sample : probe.samples()) {
-        if (sample.latency >= ProbeAgent::spikeThreshold()) {
-            spike_sum += cyclesToNs(sample.latency);
-            ++row.spikes;
-        } else {
-            base_sum += cyclesToNs(sample.latency);
-            ++base_n;
-        }
-    }
-    row.baseline_ns = base_n ? base_sum / base_n : 0.0;
-    row.spike_ns = row.spikes ? spike_sum / row.spikes : 0.0;
-    row.alerts = harness.mem().prac().alerts();
-    return row;
-}
-
-void
-printFig3()
-{
-    std::printf("\n=== Figure 3: attacker latency vs concurrent ABO "
-                "(NBO=256, 2 ms window) ===\n");
-    std::printf("%-12s %14s %14s %8s %8s\n", "config", "baseline(ns)",
-                "spike(ns)", "spikes", "alerts");
-    for (const std::uint32_t nmit : {1u, 2u, 4u}) {
-        const Fig3Row row = characterize(nmit, true);
-        std::printf("%-12s %14.0f %14.0f %8llu %8llu\n",
-                    row.label.c_str(), row.baseline_ns, row.spike_ns,
-                    static_cast<unsigned long long>(row.spikes),
-                    static_cast<unsigned long long>(row.alerts));
-    }
-    const Fig3Row quiet = characterize(1, false);
-    std::printf("%-12s %14.0f %14.0f %8llu %8llu\n",
-                quiet.label.c_str(), quiet.baseline_ns, quiet.spike_ns,
-                static_cast<unsigned long long>(quiet.spikes),
-                static_cast<unsigned long long>(quiet.alerts));
-    std::printf("(paper: spikes ~545 / 976 / 1669 ns for PRAC level "
-                "1 / 2 / 4; flat without ABO)\n\n");
-}
 
 void
 BM_AboCharacterization(benchmark::State &state)
 {
+    registerBuiltinScenarios();
+    SweepOptions options;
+    options.progress = false;
+    options.overrides["nmit"] = {
+        JsonValue(static_cast<std::int64_t>(state.range(0)))};
+    options.overrides["with_victim"] = {JsonValue(true)};
     for (auto _ : state) {
-        const Fig3Row row =
-            characterize(static_cast<std::uint32_t>(state.range(0)),
-                         true);
-        benchmark::DoNotOptimize(row.spikes);
+        const SweepResult result =
+            runScenarioByName("fig03_timing_variation", options);
+        benchmark::DoNotOptimize(result.rows.size());
     }
 }
 
@@ -129,7 +39,7 @@ BENCHMARK(BM_AboCharacterization)->Arg(1)->Arg(4)->Unit(
 int
 main(int argc, char **argv)
 {
-    printFig3();
+    runAndPrint("fig03_timing_variation");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

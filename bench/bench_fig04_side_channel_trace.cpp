@@ -1,86 +1,18 @@
 /**
  * @file
- * Reproduces Figure 4: one PRACLeak side-channel attack instance on
- * AES T-tables with p0 = 0 and k0 = 0, showing (a) the attacker's
- * memory-access latency trace with the ABO spike, (b) the RFM count,
- * and (c) per-row activation counts (Row 0 vs the other rows) across
- * the victim and attacker phases.
+ * Figure 4 driver: one PRACLeak side-channel instance with the full
+ * timeline.  The experiment is registered as
+ * "fig04_side_channel_trace" (src/sim/scenarios_attack.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <cstdio>
-
 #include "attack/side_channel.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
 
 namespace {
-
-void
-printFig4()
-{
-    SideChannelParams params;
-    params.key = Aes128T::Key{}; // k0 = 0
-    params.p0 = 0;
-    params.encryptions = 200;
-    params.recordTimeline = true;
-
-    const SideChannelResult result = runAesSideChannel(params);
-
-    std::printf("\n=== Figure 4: side-channel attack instance "
-                "(p0=0, k0=0, NBO=256) ===\n");
-
-    std::printf("victim-phase activations per T-table row "
-                "(Row 0 should dominate ~2x):\n");
-    for (int row = 0; row < 16; ++row)
-        std::printf("  row %2d: %4u%s\n", row,
-                    result.victimActsPerRow[row],
-                    row == 0 ? "   <-- x0 = p0 ^ k0" : "");
-
-    std::printf("\nattacker probe phase:\n");
-    std::printf("  spike observed: %s\n",
-                result.spikeObserved ? "yes" : "no");
-    std::printf("  estimated trigger row: %d (true: %d)\n",
-                result.estimatedTriggerRow, result.trueTriggerRow);
-    std::printf("  attacker activations to trigger row: %u\n",
-                result.attackerActsToTrigger);
-    std::printf("  victim + attacker acts on trigger row: %u "
-                "(= NBO when exact)\n",
-                result.trueTriggerRow >= 0
-                    ? result.victimActsPerRow[result.trueTriggerRow] +
-                          result.attackerActsToTrigger
-                    : 0);
-    std::printf("  recovered top nibble of k0: 0x%x (true 0x0)\n",
-                result.recoveredKeyNibble);
-
-    // Latency trace summary (panel a): max latency per 100 us bucket.
-    std::printf("\nattacker latency trace (max ns per 50us bucket):\n");
-    const Cycle bucket = nsToCycles(50000);
-    Cycle cur = 0;
-    double peak = 0;
-    for (const auto &sample : result.probeTimeline) {
-        while (sample.doneAt >= cur + bucket) {
-            if (peak > 0)
-                std::printf("  t=%6.0fus  max=%6.0fns\n",
-                            cyclesToUs(cur), peak);
-            cur += bucket;
-            peak = 0;
-        }
-        peak = std::max(peak, cyclesToNs(sample.latency));
-    }
-    if (peak > 0)
-        std::printf("  t=%6.0fus  max=%6.0fns\n", cyclesToUs(cur),
-                    peak);
-
-    std::printf("\nRFM count trace (panel b): %zu RFM(s)",
-                result.rfmTimes.size());
-    for (const Cycle t : result.rfmTimes)
-        std::printf("  at t=%.1fus", cyclesToUs(t));
-    std::printf("\n(paper: single ABO with 207 victim + 49 attacker "
-                "activations on Row 0)\n\n");
-}
 
 void
 BM_SideChannelInstance(benchmark::State &state)
@@ -102,7 +34,7 @@ BENCHMARK(BM_SideChannelInstance)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig4();
+    sim::runAndPrint("fig04_side_channel_trace");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

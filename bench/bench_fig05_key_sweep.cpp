@@ -1,119 +1,32 @@
 /**
  * @file
- * Reproduces Figure 5: side-channel heatmaps across key-byte values.
- * For k0 swept over [0, 255]: (a) the victim's most-activated T-table
- * row after 200 encryptions, and (b) the attacker activations to the
- * row causing the first ABO.  The row index must track k0's top
- * nibble, and victim + attacker activations must sum to NBO.
+ * Figure 5 driver: side-channel key sweep.  The experiment is
+ * registered as "fig05_key_sweep" (src/sim/scenarios_attack.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <functional>
-#include <future>
-#include <thread>
-#include <vector>
-
 #include "attack/side_channel.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
 
 namespace {
 
-struct SweepPoint
-{
-    int k0;
-    int hottest_row;
-    std::uint32_t victim_acts;
-    int trigger_row;
-    std::uint32_t attacker_acts;
-    int recovered;
-};
-
-SweepPoint
-measure(int k0, int lag)
-{
-    SideChannelParams params;
-    params.key = Aes128T::Key{};
-    params.key[0] = static_cast<std::uint8_t>(k0);
-    params.p0 = 0;
-    params.encryptions = 200;
-    params.seed = 1000 + k0;
-    params.probeLag = lag;
-
-    const SideChannelResult result =
-        runAesSideChannelMajority(params, 3);
-
-    SweepPoint point;
-    point.k0 = k0;
-    point.hottest_row = 0;
-    for (int row = 1; row < 16; ++row)
-        if (result.victimActsPerRow[row] >
-            result.victimActsPerRow[point.hottest_row])
-            point.hottest_row = row;
-    point.victim_acts = result.victimActsPerRow[point.hottest_row];
-    point.trigger_row = result.estimatedTriggerRow;
-    point.attacker_acts = result.attackerActsToTrigger;
-    point.recovered = result.recoveredKeyNibble;
-    return point;
-}
-
-void
-printFig5()
-{
-    // Calibrate the probe lag once (attacker-side, known key).
-    SideChannelParams cal;
-    cal.encryptions = 200;
-    const int lag = calibrateProbeLag(cal);
-
-    std::printf("\n=== Figure 5: key sweep (p0=0, NBO=256, 200 "
-                "encryptions, k0 step 8) ===\n");
-    std::printf("%5s %11s %11s %12s %13s %10s\n", "k0", "hottest-row",
-                "victim-acts", "trigger-row", "attacker-acts",
-                "recovered");
-
-    std::vector<std::function<SweepPoint()>> jobs;
-    for (int k0 = 0; k0 < 256; k0 += 8)
-        jobs.push_back([k0, lag] { return measure(k0, lag); });
-
-    const unsigned max_threads =
-        std::max(2u, std::thread::hardware_concurrency());
-    std::vector<SweepPoint> points(jobs.size());
-    std::size_t next = 0;
-    while (next < jobs.size()) {
-        const std::size_t batch =
-            std::min<std::size_t>(max_threads, jobs.size() - next);
-        std::vector<std::future<SweepPoint>> futures;
-        for (std::size_t i = 0; i < batch; ++i)
-            futures.push_back(
-                std::async(std::launch::async, jobs[next + i]));
-        for (std::size_t i = 0; i < batch; ++i)
-            points[next + i] = futures[i].get();
-        next += batch;
-    }
-
-    int correct = 0;
-    for (const SweepPoint &point : points) {
-        const bool ok = point.recovered == (point.k0 >> 4);
-        correct += ok;
-        std::printf("%5d %11d %11u %12d %13u %7s0x%x\n", point.k0,
-                    point.hottest_row, point.victim_acts,
-                    point.trigger_row, point.attacker_acts,
-                    ok ? "ok " : "BAD ", point.recovered);
-    }
-    std::printf("\nrecovered top nibbles: %d / %zu (paper: row index "
-                "tracks k0 exactly; acts sum to NBO)\n\n", correct,
-                points.size());
-}
-
 void
 BM_KeySweepPoint(benchmark::State &state)
 {
+    SideChannelParams params;
+    params.key = Aes128T::Key{};
+    params.key[0] = static_cast<std::uint8_t>(state.range(0));
+    params.p0 = 0;
+    params.encryptions = 200;
+    params.seed = 1000 + static_cast<std::uint64_t>(state.range(0));
+    params.probeLag = 3;
     for (auto _ : state) {
-        const SweepPoint point =
-            measure(static_cast<int>(state.range(0)), 3);
-        benchmark::DoNotOptimize(point.trigger_row);
+        const SideChannelResult result =
+            runAesSideChannelMajority(params, 3);
+        benchmark::DoNotOptimize(result.estimatedTriggerRow);
     }
 }
 
@@ -125,7 +38,7 @@ BENCHMARK(BM_KeySweepPoint)->Arg(0)->Arg(128)->Unit(
 int
 main(int argc, char **argv)
 {
-    printFig5();
+    sim::runAndPrint("fig05_key_sweep");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,53 +1,17 @@
 /**
  * @file
- * Reproduces Figure 7: theoretical maximum activations to a target
- * row (TMAX) as the TB-Window varies, with and without per-row
- * activation-counter reset at each tREFW, for the paper's DDR5 32 Gb
- * chip (128K rows per bank).
- *
- * Also prints the derived safe TB-Windows per NBO, which the defense
- * configuration (TbRfmConfig::forNbo) and the performance benches
- * consume -- the paper quotes ~1.6 tREFI at NRH = 1024.
+ * Figure 7 driver: TMAX vs TB-Window analysis.  The experiment is
+ * registered as "fig07_tmax_analysis" (src/sim/scenarios_analysis.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
+#include "sim/runner.h"
 #include "tprac/analysis.h"
 
 using namespace pracleak;
 
 namespace {
-
-void
-printFig7Table()
-{
-    const FeintingParams p =
-        FeintingParams::fromSpec(DramSpec::ddr5_8000b());
-
-    std::printf("\n=== Figure 7: TMAX vs TB-Window ===\n");
-    std::printf("%-14s %22s %22s\n", "TB-Window", "TMAX (with reset)",
-                "TMAX (no reset)");
-    for (const double mult : {0.25, 0.5, 0.75, 1.0, 2.0, 4.0}) {
-        const double w = mult * p.trefiNs;
-        std::printf("%6.2f tREFI  %22llu %22llu\n", mult,
-                    static_cast<unsigned long long>(tmaxWithReset(w, p)),
-                    static_cast<unsigned long long>(tmaxNoReset(w, p)));
-    }
-
-    std::printf("\n=== Derived safe TB-Window per NBO ===\n");
-    std::printf("%-8s %20s %20s\n", "NBO", "window (reset)",
-                "window (no reset)");
-    for (const std::uint32_t nbo : {128u, 256u, 512u, 1024u, 2048u,
-                                    4096u}) {
-        const double wr = maxSafeWindowNs(nbo, true, p);
-        const double wn = maxSafeWindowNs(nbo, false, p);
-        std::printf("%-8u %14.2f tREFI %14.2f tREFI\n", nbo,
-                    wr / p.trefiNs, wn / p.trefiNs);
-    }
-    std::printf("\n");
-}
 
 void
 BM_TmaxWithReset(benchmark::State &state)
@@ -91,7 +55,7 @@ BENCHMARK(BM_TmaxNoReset)
 int
 main(int argc, char **argv)
 {
-    printFig7Table();
+    sim::runAndPrint("fig07_tmax_analysis");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

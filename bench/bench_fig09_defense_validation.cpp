@@ -1,129 +1,34 @@
 /**
  * @file
- * Reproduces Figure 9: empirical security validation of TPRAC.  For
- * each key-byte value, the row triggering the first RFM observed by
- * the attacker is recorded, (a) without defense (AboOnly: the row
- * tracks the key) and (b) with TPRAC (the row is uncorrelated with
- * the key and the Alert never fires).
+ * Figure 9 driver: empirical TPRAC security validation.  The
+ * experiment is registered as "fig09_defense_validation"
+ * (src/sim/scenarios_attack.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <functional>
-#include <future>
-#include <thread>
-#include <vector>
-
 #include "attack/side_channel.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
 
 namespace {
 
-struct Point
-{
-    int k0;
-    int trigger_row;
-    bool alert_fired;
-};
-
-Point
-measure(int k0, MitigationMode mode, int lag)
-{
-    SideChannelParams params;
-    params.key = Aes128T::Key{};
-    params.key[0] = static_cast<std::uint8_t>(k0);
-    params.encryptions = 200;
-    params.seed = 2000 + k0;
-    params.mode = mode;
-    params.probeLag = lag;
-    if (mode == MitigationMode::Tprac) {
-        // TB-RFMs are single 350 ns RFMabs; the attacker lowers its
-        // detection threshold to keep "seeing" RFM events.
-        params.spikeThresholdNs = 400.0;
-    }
-
-    const SideChannelResult result =
-        runAesSideChannelMajority(params, 5);
-    return Point{k0, result.estimatedTriggerRow,
-                 result.trueTriggerRow >= 0};
-}
-
-std::vector<Point>
-sweep(MitigationMode mode, int lag)
-{
-    std::vector<std::function<Point()>> jobs;
-    for (int k0 = 0; k0 < 256; k0 += 16)
-        jobs.push_back([k0, mode, lag] {
-            return measure(k0, mode, lag);
-        });
-
-    const unsigned max_threads =
-        std::max(2u, std::thread::hardware_concurrency());
-    std::vector<Point> points(jobs.size());
-    std::size_t next = 0;
-    while (next < jobs.size()) {
-        const std::size_t batch =
-            std::min<std::size_t>(max_threads, jobs.size() - next);
-        std::vector<std::future<Point>> futures;
-        for (std::size_t i = 0; i < batch; ++i)
-            futures.push_back(
-                std::async(std::launch::async, jobs[next + i]));
-        for (std::size_t i = 0; i < batch; ++i)
-            points[next + i] = futures[i].get();
-        next += batch;
-    }
-    return points;
-}
-
-void
-printFig9()
-{
-    SideChannelParams cal;
-    cal.encryptions = 200;
-    const int lag = calibrateProbeLag(cal);
-
-    const auto undefended = sweep(MitigationMode::AboOnly, lag);
-    const auto defended = sweep(MitigationMode::Tprac, lag);
-
-    std::printf("\n=== Figure 9: row triggering first RFM vs k0 ===\n");
-    std::printf("%5s | %-22s | %-22s\n", "k0", "without defense",
-                "with TPRAC");
-    std::printf("%5s | %10s %11s | %10s %11s\n", "", "trig.row",
-                "key-match?", "trig.row", "key-match?");
-
-    int leak_without = 0;
-    int leak_with = 0;
-    int alerts_with = 0;
-    for (std::size_t i = 0; i < undefended.size(); ++i) {
-        const int expect = undefended[i].k0 >> 4;
-        const bool match_without =
-            undefended[i].trigger_row == expect;
-        const bool match_with = defended[i].trigger_row == expect;
-        leak_without += match_without;
-        leak_with += match_with;
-        alerts_with += defended[i].alert_fired;
-        std::printf("%5d | %10d %11s | %10d %11s\n", undefended[i].k0,
-                    undefended[i].trigger_row,
-                    match_without ? "LEAK" : "-",
-                    defended[i].trigger_row,
-                    match_with ? "chance" : "-");
-    }
-
-    std::printf("\nkey-correlated trigger rows: %d/%zu without "
-                "defense, %d/%zu with TPRAC (chance = 1/16)\n",
-                leak_without, undefended.size(), leak_with,
-                defended.size());
-    std::printf("Alerts under TPRAC (must be 0): %d\n\n", alerts_with);
-}
-
 void
 BM_DefendedAttackInstance(benchmark::State &state)
 {
+    SideChannelParams params;
+    params.key = Aes128T::Key{};
+    params.key[0] = 0x40;
+    params.encryptions = 200;
+    params.seed = 2000 + 0x40;
+    params.mode = MitigationMode::Tprac;
+    params.probeLag = 3;
+    params.spikeThresholdNs = 400.0;
     for (auto _ : state) {
-        const Point point = measure(0x40, MitigationMode::Tprac, 3);
-        benchmark::DoNotOptimize(point.trigger_row);
+        const SideChannelResult result =
+            runAesSideChannelMajority(params, 5);
+        benchmark::DoNotOptimize(result.estimatedTriggerRow);
     }
 }
 
@@ -134,7 +39,7 @@ BENCHMARK(BM_DefendedAttackInstance)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig9();
+    sim::runAndPrint("fig09_defense_validation");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

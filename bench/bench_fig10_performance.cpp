@@ -1,94 +1,27 @@
 /**
  * @file
- * Reproduces Figure 10: normalized performance (weighted speedup vs.
- * a PRAC-timing baseline without ABO) of ABO-Only, ABO+ACB-RFM, and
- * TPRAC at NBO/NRH = 1024, per workload and averaged over the
- * memory-intensive subset and the whole suite.
- *
- * Paper: TPRAC 3.4% mean slowdown (worst workload 8.3%),
- * ABO+ACB-RFM 0.7%, ABO-Only ~0.
+ * Figure 10 driver: normalized performance of ABO-Only, ABO+ACB-RFM
+ * and TPRAC at NRH = 1024.  The experiment is registered as
+ * "fig10_performance" (src/sim/scenarios_perf.cpp); run it with
+ * custom grids via `pracbench --scenario fig10_performance --set ...`.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <map>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
-
-void
-printFig10()
-{
-    const RunBudget budget;
-    const auto suite = standardSuite();
-
-    const std::vector<DesignConfig> designs = {
-        {"abo-only", MitigationMode::AboOnly, 1024, 1, 0, true},
-        {"abo+acb-rfm", MitigationMode::AboAcb, 1024, 1, 0, true},
-        {"tprac", MitigationMode::Tprac, 1024, 1, 0, true},
-    };
-
-    std::map<std::string, std::vector<EntryPerf>> results;
-    for (const auto &design : designs)
-        results[design.label] =
-            runSuiteNormalized(suite, design, budget);
-
-    std::printf("\n=== Figure 10: normalized performance at "
-                "NRH=1024 ===\n");
-    std::printf("%-16s %6s %12s %12s %12s\n", "workload", "class",
-                "abo-only", "abo+acb", "tprac");
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        std::printf("%-16s %6s %12.4f %12.4f %12.4f\n",
-                    suite[i].params.name.c_str(),
-                    intensityName(suite[i].intensity),
-                    results["abo-only"][i].normalized,
-                    results["abo+acb-rfm"][i].normalized,
-                    results["tprac"][i].normalized);
-    }
-
-    auto mean_of = [&](const std::string &label, bool high_only) {
-        std::vector<EntryPerf> subset;
-        for (const auto &perf : results[label])
-            if (!high_only || perf.intensity == MemIntensity::High)
-                subset.push_back(perf);
-        return meanNormalized(subset);
-    };
-
-    std::printf("%-16s %6s %12.4f %12.4f %12.4f\n", "MEAN(high)", "",
-                mean_of("abo-only", true),
-                mean_of("abo+acb-rfm", true), mean_of("tprac", true));
-    std::printf("%-16s %6s %12.4f %12.4f %12.4f\n", "MEAN(all)", "",
-                mean_of("abo-only", false),
-                mean_of("abo+acb-rfm", false),
-                mean_of("tprac", false));
-
-    // Security telemetry: the insecure baselines leak via
-    // activity-dependent RFMs; TPRAC must stay Alert-free.
-    std::uint64_t tprac_alerts = 0;
-    std::uint64_t tprac_rfms = 0;
-    for (const auto &perf : results["tprac"]) {
-        tprac_alerts += perf.result.alerts;
-        tprac_rfms += perf.result.tbRfms;
-    }
-    std::printf("\nTPRAC: %llu TB-RFMs issued, %llu Alerts (must be "
-                "0)\n",
-                static_cast<unsigned long long>(tprac_rfms),
-                static_cast<unsigned long long>(tprac_alerts));
-    std::printf("(paper: tprac mean 0.966, abo+acb 0.993, abo-only "
-                "~1.0)\n\n");
-}
 
 void
 BM_OnePerfRun(benchmark::State &state)
 {
     const SuiteEntry entry = standardSuite().front();
     const DesignConfig design{"tprac", MitigationMode::Tprac, 1024, 1,
-                              0, true};
+                              0, true, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -105,7 +38,7 @@ BENCHMARK(BM_OnePerfRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig10();
+    runAndPrint("fig10_performance");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,64 +1,26 @@
 /**
  * @file
- * Reproduces Figure 11: sensitivity to the PRAC level (1, 2, or 4
- * RFMs per Alert Back-Off) at NRH = 1024.
- *
- * Expected shape: the PRAC level has no effect on TPRAC or
- * ABO+ACB-RFM (both eliminate ABO-RFMs entirely) and ABO-Only sees
- * almost no ABOs on benign workloads, so all three lines are flat.
+ * Figure 11 driver: PRAC-level sensitivity.  The experiment is
+ * registered as "fig11_prac_levels" (src/sim/scenarios_perf.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
 
 void
-printFig11()
-{
-    RunBudget budget;
-    budget.measure = 150'000;
-    // Memory-intensive subset (the paper's sensitivity studies focus
-    // on where overheads show).
-    const auto suite = suiteByIntensity(MemIntensity::High);
-
-    std::printf("\n=== Figure 11: sensitivity to PRAC level "
-                "(NRH=1024, high-RBMPKI mean) ===\n");
-    std::printf("%-14s %12s %12s %12s\n", "design", "PRAC-1",
-                "PRAC-2", "PRAC-4");
-
-    for (const auto &[label, mode] :
-         {std::pair<const char *, MitigationMode>{
-              "abo-only", MitigationMode::AboOnly},
-          {"abo+acb-rfm", MitigationMode::AboAcb},
-          {"tprac", MitigationMode::Tprac}}) {
-        std::printf("%-14s", label);
-        for (const std::uint32_t nmit : {1u, 2u, 4u}) {
-            const DesignConfig design{label, mode, 1024, nmit, 0,
-                                      true};
-            const double mean = meanNormalized(
-                runSuiteNormalized(suite, design, budget));
-            std::printf(" %12.4f", mean);
-        }
-        std::printf("\n");
-    }
-    std::printf("(paper: flat across levels; tprac ~0.966, abo+acb "
-                "~0.993, abo-only ~1.0)\n\n");
-}
-
-void
 BM_PracLevelRun(benchmark::State &state)
 {
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
+    const SuiteEntry entry = standardSuite().front();
     const DesignConfig design{
         "tprac", MitigationMode::Tprac, 1024,
-        static_cast<std::uint32_t>(state.range(0)), 0, true};
+        static_cast<std::uint32_t>(state.range(0)), 0, true, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -76,7 +38,7 @@ BENCHMARK(BM_PracLevelRun)->Arg(1)->Arg(4)->Unit(
 int
 main(int argc, char **argv)
 {
-    printFig11();
+    runAndPrint("fig11_prac_levels");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,85 +1,28 @@
 /**
  * @file
- * Reproduces Figure 12: TPRAC performance as the Targeted Refresh
- * (TREF) rate varies from none to one per tREFI at NRH = 1024,
- * reported per workload family and overall.
- *
- * Paper: slowdown falls monotonically from 3.4% (no TREF) through
- * 2.4% / 2.0% / 1.4% (1 TREF per 4/3/2 tREFI) to ~0% at 1 per tREFI,
- * because TREF rounds let scheduled TB-RFMs be skipped.
+ * Figure 12 driver: TPRAC vs Targeted-Refresh rate.  The experiment
+ * is registered as "fig12_tref_sensitivity"
+ * (src/sim/scenarios_perf.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
 
 void
-printFig12()
-{
-    RunBudget budget;
-    budget.measure = 150'000;
-    const auto all = standardSuite();
-
-    struct Family
-    {
-        const char *label;
-        std::vector<SuiteEntry> entries;
-    };
-    std::vector<Family> families = {
-        {"high", suiteByIntensity(MemIntensity::High)},
-        {"medium", suiteByIntensity(MemIntensity::Medium)},
-        {"low", suiteByIntensity(MemIntensity::Low)},
-        {"all", all},
-    };
-
-    const std::vector<std::pair<const char *, std::uint32_t>> rates = {
-        {"no TREF", 0},
-        {"1 per 4 tREFI", 4},
-        {"1 per 3 tREFI", 3},
-        {"1 per 2 tREFI", 2},
-        {"1 per 1 tREFI", 1},
-    };
-
-    std::printf("\n=== Figure 12: TPRAC vs TREF rate (NRH=1024) ===\n");
-    std::printf("%-16s", "TREF rate");
-    for (const auto &family : families)
-        std::printf(" %10s", family.label);
-    std::printf(" %10s\n", "TB-skips");
-
-    for (const auto &[label, period] : rates) {
-        const DesignConfig design{"tprac", MitigationMode::Tprac,
-                                  1024, 1, period, true};
-        std::printf("%-16s", label);
-        std::uint64_t skips = 0;
-        for (const auto &family : families) {
-            const auto perfs =
-                runSuiteNormalized(family.entries, design, budget);
-            std::printf(" %10.4f", meanNormalized(perfs));
-            if (family.entries.size() == all.size())
-                for (const auto &perf : perfs)
-                    skips += perf.result.tbRfmsSkipped;
-        }
-        std::printf(" %10llu\n",
-                    static_cast<unsigned long long>(skips));
-    }
-    std::printf("(paper: 0.966 -> 0.976 -> 0.980 -> 0.986 -> ~1.0 "
-                "as TREFs replace TB-RFMs)\n\n");
-}
-
-void
 BM_TrefRun(benchmark::State &state)
 {
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
+    const SuiteEntry entry =
+        findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
     const DesignConfig design{
         "tprac", MitigationMode::Tprac, 1024, 1,
-        static_cast<std::uint32_t>(state.range(0)), true};
+        static_cast<std::uint32_t>(state.range(0)), true, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -96,7 +39,7 @@ BENCHMARK(BM_TrefRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig12();
+    runAndPrint("fig12_tref_sensitivity");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,82 +1,28 @@
 /**
  * @file
- * Reproduces Figure 13: performance of TPRAC (with and without TREF
- * co-design) and the insecure baselines as the RowHammer threshold
- * varies from 128 to 4096.
- *
- * Paper: TPRAC slowdowns 22.6 / 14.1 / 6.5 / 3.4 / 1.6 / 0.6 % at
- * NRH = 128..4096; ABO+ACB-RFM cheaper but insecure; ABO-Only ~free;
- * TREF co-design recovers several points at low NRH.
+ * Figure 13 driver: performance vs RowHammer threshold.  The
+ * experiment is registered as "fig13_nrh_sweep"
+ * (src/sim/scenarios_perf.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
 
 void
-printFig13()
-{
-    RunBudget budget;
-    budget.measure = 150'000;
-    // Representative subset: the overhead is a bandwidth effect, so
-    // high + medium entries carry the shape (low entries are ~1.0).
-    std::vector<SuiteEntry> suite =
-        suiteByIntensity(MemIntensity::High);
-    for (auto &entry : suiteByIntensity(MemIntensity::Medium))
-        suite.push_back(entry);
-
-    struct Design
-    {
-        const char *label;
-        MitigationMode mode;
-        std::uint32_t tref;
-    };
-    const std::vector<Design> designs = {
-        {"abo-only", MitigationMode::AboOnly, 0},
-        {"abo+acb-rfm", MitigationMode::AboAcb, 0},
-        {"tprac", MitigationMode::Tprac, 0},
-        {"tprac+tref/4", MitigationMode::Tprac, 4},
-        {"tprac+tref/1", MitigationMode::Tprac, 1},
-    };
-
-    std::printf("\n=== Figure 13: normalized performance vs NRH "
-                "(high+medium mean) ===\n");
-    std::printf("%-14s", "design");
-    for (const std::uint32_t nrh : {128u, 256u, 512u, 1024u, 2048u,
-                                    4096u})
-        std::printf(" %8u", nrh);
-    std::printf("\n");
-
-    for (const Design &design : designs) {
-        std::printf("%-14s", design.label);
-        for (const std::uint32_t nrh : {128u, 256u, 512u, 1024u,
-                                        2048u, 4096u}) {
-            const DesignConfig config{design.label, design.mode, nrh,
-                                      1, design.tref, true};
-            const double mean = meanNormalized(
-                runSuiteNormalized(suite, config, budget));
-            std::printf(" %8.4f", mean);
-        }
-        std::printf("\n");
-    }
-    std::printf("(paper, all-suite: tprac 0.774/0.859/0.935/0.966/"
-                "0.984/0.994; abo+acb 0.893..0.993; abo-only ~1)\n\n");
-}
-
-void
 BM_NrhRun(benchmark::State &state)
 {
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
+    const SuiteEntry entry =
+        findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
     const DesignConfig design{
         "tprac", MitigationMode::Tprac,
-        static_cast<std::uint32_t>(state.range(0)), 1, 0, true};
+        static_cast<std::uint32_t>(state.range(0)), 1, 0, true, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -94,7 +40,7 @@ BENCHMARK(BM_NrhRun)->Arg(128)->Arg(1024)->Unit(
 int
 main(int argc, char **argv)
 {
-    printFig13();
+    runAndPrint("fig13_nrh_sweep");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,79 +1,26 @@
 /**
  * @file
- * Reproduces Figure 14: TPRAC with and without the per-tREFW
- * activation-counter reset as NRH varies.
- *
- * Paper: negligible difference at NRH >= 1024; at ultra-low NRH the
- * reset policy shrinks the adversary's optimal pool, allowing a
- * longer TB-Window and recovering a few percent of performance.
+ * Figure 14 driver: counter-reset sensitivity.  The experiment is
+ * registered as "fig14_counter_reset" (src/sim/scenarios_perf.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
 
 void
-printFig14()
-{
-    RunBudget budget;
-    budget.measure = 150'000;
-    std::vector<SuiteEntry> suite =
-        suiteByIntensity(MemIntensity::High);
-    for (auto &entry : suiteByIntensity(MemIntensity::Medium))
-        suite.push_back(entry);
-
-    const FeintingParams fp =
-        FeintingParams::fromSpec(DramSpec::ddr5_8000b());
-
-    std::printf("\n=== Figure 14: TPRAC counter-reset sensitivity "
-                "(high+medium mean) ===\n");
-    std::printf("%-20s", "design");
-    for (const std::uint32_t nrh : {128u, 256u, 512u, 1024u, 4096u})
-        std::printf(" %8u", nrh);
-    std::printf("\n");
-
-    for (const bool reset : {true, false}) {
-        for (const std::uint32_t tref : {0u, 1u}) {
-            std::string label = reset ? "tprac" : "tprac-noreset";
-            label += tref ? "+tref/1" : "";
-            std::printf("%-20s", label.c_str());
-            for (const std::uint32_t nrh : {128u, 256u, 512u, 1024u,
-                                            4096u}) {
-                const DesignConfig config{label,
-                                          MitigationMode::Tprac, nrh,
-                                          1, tref, reset};
-                const double mean = meanNormalized(
-                    runSuiteNormalized(suite, config, budget));
-                std::printf(" %8.4f", mean);
-            }
-            std::printf("\n");
-        }
-    }
-
-    std::printf("\nTB-Window sizes behind the rows above:\n");
-    for (const std::uint32_t nrh : {128u, 256u, 512u, 1024u, 4096u}) {
-        std::printf("  NRH %4u: %5.2f tREFI (reset) vs %5.2f tREFI "
-                    "(no reset)\n",
-                    nrh, maxSafeWindowNs(nrh, true, fp) / fp.trefiNs,
-                    maxSafeWindowNs(nrh, false, fp) / fp.trefiNs);
-    }
-    std::printf("(paper: reset vs no-reset differs <1%% at NRH>=1024, "
-                "~3%% at NRH=128)\n\n");
-}
-
-void
 BM_NoResetRun(benchmark::State &state)
 {
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
+    const SuiteEntry entry =
+        findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
     const DesignConfig design{"tprac-noreset", MitigationMode::Tprac,
-                              256, 1, 0, false};
+                              256, 1, 0, false, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -90,7 +37,7 @@ BENCHMARK(BM_NoResetRun)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig14();
+    runAndPrint("fig14_counter_reset");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,77 +1,18 @@
 /**
  * @file
- * Reproduces Table 2: transmission period and bitrate of the two
- * PRACLeak covert channels for NBO in {256, 512, 1024}.
- *
- * Paper values: activity channel 24.1/46.7/91.8 us and
- * 41.4/21.4/10.9 Kbps; count channel 64.7/128.0/257.6 us and
- * 123.6/70.3/38.8 Kbps, with negligible error rates.  Our count
- * channel deliberately trades 4 bits/window of payload for symbol
- * robustness (see covert.h), so its bitrate sits lower but the
- * period, ordering, and error behaviour reproduce.
+ * Table 2 driver: covert-channel period and bitrate.  The experiment
+ * is registered as "table2_covert_channels"
+ * (src/sim/scenarios_covert.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "attack/covert.h"
-#include "common/rng.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
 
 namespace {
-
-std::vector<bool>
-randomBits(std::size_t n, std::uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<bool> bits(n);
-    for (std::size_t i = 0; i < n; ++i)
-        bits[i] = rng.chance(0.5);
-    return bits;
-}
-
-std::vector<std::uint32_t>
-randomSymbols(std::size_t n, std::uint32_t bound, std::uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<std::uint32_t> symbols(n);
-    for (auto &symbol : symbols)
-        symbol = static_cast<std::uint32_t>(rng.range(bound));
-    return symbols;
-}
-
-void
-printTable2()
-{
-    std::printf("\n=== Table 2: covert channel period and bitrate ===\n");
-    std::printf("%-24s %6s %12s %12s %10s\n", "channel", "NBO",
-                "period(us)", "rate(Kbps)", "errors");
-
-    for (const std::uint32_t nbo : {256u, 512u, 1024u}) {
-        CovertParams params;
-        params.nbo = nbo;
-        const CovertResult activity =
-            runActivityCovert(params, randomBits(32, nbo));
-        std::printf("%-24s %6u %12.1f %12.1f %9.2f%%\n",
-                    "activity-based", nbo, activity.periodUs(),
-                    activity.bitrateKbps(),
-                    100.0 * activity.errorRate());
-    }
-    for (const std::uint32_t nbo : {256u, 512u, 1024u}) {
-        CovertParams params;
-        params.nbo = nbo;
-        const std::uint32_t bound = nbo <= 256 ? nbo / 16 : nbo / 32;
-        const CovertResult count =
-            runCountCovert(params, randomSymbols(24, bound, nbo + 1));
-        std::printf("%-24s %6u %12.1f %12.1f %9.2f%%\n",
-                    "activation-count-based", nbo, count.periodUs(),
-                    count.bitrateKbps(), 100.0 * count.errorRate());
-    }
-    std::printf("(paper: activity 24.1-91.8us / 41.4-10.9Kbps; count "
-                "64.7-257.6us / 123.6-38.8Kbps)\n\n");
-}
 
 void
 BM_ActivityChannelBit(benchmark::State &state)
@@ -83,7 +24,6 @@ BM_ActivityChannelBit(benchmark::State &state)
             runActivityCovert(params, {true, false});
         benchmark::DoNotOptimize(result.symbolErrors);
     }
-    state.counters["kbps"] = 0;
 }
 
 BENCHMARK(BM_ActivityChannelBit)->Arg(256)->Unit(
@@ -94,7 +34,7 @@ BENCHMARK(BM_ActivityChannelBit)->Arg(256)->Unit(
 int
 main(int argc, char **argv)
 {
-    printTable2();
+    sim::runAndPrint("table2_covert_channels");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

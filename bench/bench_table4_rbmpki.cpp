@@ -1,63 +1,18 @@
 /**
  * @file
- * Reproduces Table 4: workload categorization by row-buffer misses
- * per kilo-instruction (RBMPKI).  Measures every suite entry on the
- * baseline system and verifies it lands in its declared band
- * (High >= 10, Medium in [1, 10), Low < 1).
+ * Table 4 driver: RBMPKI workload categorization.  The experiment is
+ * registered as "table4_rbmpki" (src/sim/scenarios_perf.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
-
-void
-printTable4()
-{
-    RunBudget budget;
-    budget.warmup = 100'000; // let cache-resident footprints warm
-    budget.measure = 200'000;
-    const DesignConfig baseline{"baseline",
-                                MitigationMode::NoMitigation, 1024, 1,
-                                0, true};
-
-    const auto suite = standardSuite();
-    std::vector<std::function<RunResult()>> jobs;
-    for (const SuiteEntry &entry : suite)
-        jobs.push_back([entry, baseline, budget] {
-            return runOne(entry, baseline, budget);
-        });
-    const auto results = runParallel(std::move(jobs));
-
-    std::printf("\n=== Table 4: RBMPKI categorization ===\n");
-    std::printf("%-16s %8s %10s %8s %8s\n", "workload", "class",
-                "RBMPKI", "IPC-sum", "in-band");
-    int in_band = 0;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        const double rbmpki = results[i].rbmpki();
-        bool ok = false;
-        switch (suite[i].intensity) {
-          case MemIntensity::High: ok = rbmpki >= 10.0; break;
-          case MemIntensity::Medium:
-            ok = rbmpki >= 1.0 && rbmpki < 10.0;
-            break;
-          case MemIntensity::Low: ok = rbmpki < 1.0; break;
-        }
-        in_band += ok;
-        std::printf("%-16s %8s %10.2f %8.3f %8s\n",
-                    suite[i].params.name.c_str(),
-                    intensityName(suite[i].intensity), rbmpki,
-                    results[i].ipcSum(), ok ? "yes" : "NO");
-    }
-    std::printf("\nworkloads inside their declared band: %d / %zu\n\n",
-                in_band, suite.size());
-}
 
 void
 BM_RbmpkiMeasurement(benchmark::State &state)
@@ -65,7 +20,7 @@ BM_RbmpkiMeasurement(benchmark::State &state)
     const SuiteEntry entry = standardSuite().front();
     const DesignConfig baseline{"baseline",
                                 MitigationMode::NoMitigation, 1024, 1,
-                                0, true};
+                                0, true, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -82,7 +37,7 @@ BENCHMARK(BM_RbmpkiMeasurement)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable4();
+    runAndPrint("table4_rbmpki");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,99 +1,26 @@
 /**
  * @file
- * Reproduces Table 5: energy overhead of TPRAC, split into the
- * mitigation component (rows refreshed by TB-RFMs) and the
- * non-mitigation component (longer execution burning background and
- * demand energy), across NRH.
- *
- * Paper: total overhead 44.3 / 26.1 / 10.4 / 7.4 / 2.6 / 1.0 % at
- * NRH = 128..4096, with the mitigation share growing as NRH falls.
+ * Table 5 driver: TPRAC energy overhead.  The experiment is
+ * registered as "table5_energy" (src/sim/scenarios_perf.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "perf_common.h"
+#include "sim/design.h"
+#include "sim/runner.h"
 
 using namespace pracleak;
-using namespace pracleak::bench;
+using namespace pracleak::sim;
 
 namespace {
-
-struct EnergyRow
-{
-    std::uint32_t nrh;
-    double mitigation_pct;
-    double non_mitigation_pct;
-    double total_pct;
-};
-
-EnergyRow
-measure(std::uint32_t nrh, const std::vector<SuiteEntry> &suite,
-        const RunBudget &budget)
-{
-    const DesignConfig baseline{"baseline",
-                                MitigationMode::NoMitigation, nrh, 1,
-                                0, true};
-    const DesignConfig tprac{"tprac", MitigationMode::Tprac, nrh, 1,
-                             0, true};
-
-    std::vector<std::function<std::pair<RunResult, RunResult>()>> jobs;
-    for (const SuiteEntry &entry : suite)
-        jobs.push_back([entry, baseline, tprac, budget] {
-            return std::make_pair(runOne(entry, baseline, budget),
-                                  runOne(entry, tprac, budget));
-        });
-    const auto pairs = runParallel(std::move(jobs));
-
-    double base_total = 0.0;
-    double design_total = 0.0;
-    double design_mitigation = 0.0;
-    for (const auto &[base, design] : pairs) {
-        base_total += base.energy.totalNj();
-        design_total += design.energy.totalNj();
-        design_mitigation += design.energy.mitigationNj;
-    }
-
-    EnergyRow row;
-    row.nrh = nrh;
-    row.total_pct = 100.0 * (design_total - base_total) / base_total;
-    row.mitigation_pct = 100.0 * design_mitigation / base_total;
-    row.non_mitigation_pct = row.total_pct - row.mitigation_pct;
-    return row;
-}
-
-void
-printTable5()
-{
-    RunBudget budget;
-    budget.measure = 150'000;
-    std::vector<SuiteEntry> suite =
-        suiteByIntensity(MemIntensity::High);
-    for (auto &entry : suiteByIntensity(MemIntensity::Medium))
-        suite.push_back(entry);
-
-    std::printf("\n=== Table 5: TPRAC energy overhead "
-                "(high+medium suite) ===\n");
-    std::printf("%8s %16s %20s %10s\n", "NRH", "mitigation(RFM)",
-                "non-mitigation(time)", "total");
-    for (const std::uint32_t nrh : {128u, 256u, 512u, 1024u, 2048u,
-                                    4096u}) {
-        const EnergyRow row = measure(nrh, suite, budget);
-        std::printf("%8u %15.1f%% %19.1f%% %9.1f%%\n", row.nrh,
-                    row.mitigation_pct, row.non_mitigation_pct,
-                    row.total_pct);
-    }
-    std::printf("(paper: 44.3 / 26.1 / 10.4 / 7.4 / 2.6 / 1.0 %% "
-                "total, mitigation share rising as NRH falls)\n\n");
-}
 
 void
 BM_EnergyAccounting(benchmark::State &state)
 {
-    const SuiteEntry entry = suiteByIntensity(MemIntensity::High)[0];
+    const SuiteEntry entry =
+        findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
     const DesignConfig design{"tprac", MitigationMode::Tprac, 1024, 1,
-                              0, true};
+                              0, true, false};
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;
@@ -110,7 +37,7 @@ BENCHMARK(BM_EnergyAccounting)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable5();
+    runAndPrint("table5_energy");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Drive pracbench over every registered scenario and drop JSON (and
+# CSV) results under results/.
+#
+# Usage: scripts/run_all_figures.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  where pracbench lives (default: build)
+#   OUT_DIR    where results land     (default: results)
+#
+# Extra pracbench arguments can be passed via PRACBENCH_ARGS, e.g.
+#   PRACBENCH_ARGS="--jobs 8" scripts/run_all_figures.sh
+# A quick smoke pass over the expensive perf sweeps (--try-set only
+# applies where a scenario declares the axis):
+#   PRACBENCH_ARGS="--try-set measure=50000" scripts/run_all_figures.sh
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+PRACBENCH="${BUILD_DIR}/pracbench"
+
+if [[ ! -x "${PRACBENCH}" ]]; then
+    echo "error: ${PRACBENCH} not found; build first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+mapfile -t SCENARIOS < <("${PRACBENCH}" --list | awk 'NR > 1 {print $1}')
+echo "running ${#SCENARIOS[@]} scenarios -> ${OUT_DIR}/"
+
+for scenario in "${SCENARIOS[@]}"; do
+    echo "==> ${scenario}"
+    # shellcheck disable=SC2086  # PRACBENCH_ARGS is intentionally split
+    "${PRACBENCH}" --scenario "${scenario}" --quiet --no-table \
+        --out "${OUT_DIR}/" --csv "${OUT_DIR}/" ${PRACBENCH_ARGS:-}
+done
+
+echo "done: $(ls "${OUT_DIR}"/*.json | wc -l) JSON files in ${OUT_DIR}/"

@@ -1,0 +1,202 @@
+#include "sim/design.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace pracleak::sim {
+
+SystemConfig
+makeSystemConfig(const DesignConfig &design, const RunBudget &budget)
+{
+    SystemConfig config;
+    config.spec = DramSpec::ddr5_8000b();
+    config.spec.prac.nbo = design.nbo;
+    config.spec.prac.nmit = design.nmit;
+    config.warmupInstrs = budget.warmup;
+    config.measureInstrs = budget.measure;
+
+    config.mem.mode = design.mode;
+    if (design.randomRfmPerTrefi >= 0.0)
+        config.mem.randomRfmPerTrefi = design.randomRfmPerTrefi;
+    config.mem.prac.queue = QueueKind::SingleEntry;
+    config.mem.prac.counterResetAtTrefw = design.counterReset;
+    config.mem.prac.trefPeriodRefs = design.trefPeriodRefs;
+
+    const FeintingParams fp = FeintingParams::fromSpec(config.spec);
+    if (design.mode == MitigationMode::AboAcb) {
+        config.mem.bat = std::max<std::uint32_t>(
+            16, maxSafeBat(design.nbo, design.counterReset, fp));
+    }
+    if (design.mode == MitigationMode::Tprac) {
+        config.mem.tbRfm = TbRfmConfig::forNbo(
+            design.nbo, design.counterReset, config.spec,
+            design.trefPeriodRefs != 0);
+        config.mem.tbRfm.perBank = design.perBankRfm;
+    }
+    return config;
+}
+
+RunResult
+runOne(const SuiteEntry &entry, const DesignConfig &design,
+       const RunBudget &budget, std::uint32_t cores)
+{
+    System system(makeSystemConfig(design, budget),
+                  instantiate(entry, cores));
+    return system.run();
+}
+
+namespace {
+
+/** Every knob a NoMitigation baseline run can observe. */
+using BaselineKey = std::tuple<std::string, std::uint32_t,
+                               std::uint32_t, std::uint32_t, bool,
+                               std::uint64_t, std::uint64_t,
+                               std::uint32_t>;
+
+// shared_future per key: the first thread to claim a key computes
+// it, concurrent claimants wait instead of re-simulating.
+std::mutex g_baselineMutex;
+std::map<BaselineKey, std::shared_future<RunResult>> g_baselineCache;
+
+BaselineKey
+baselineKey(const SuiteEntry &entry, const DesignConfig &design,
+            const RunBudget &budget, std::uint32_t cores)
+{
+    return BaselineKey{entry.params.name, design.nbo,   design.nmit,
+                       design.trefPeriodRefs, design.counterReset,
+                       budget.warmup,    budget.measure, cores};
+}
+
+} // namespace
+
+PairResult
+runNormalizedPair(const SuiteEntry &entry, const DesignConfig &design,
+                  const RunBudget &budget, std::uint32_t cores)
+{
+    DesignConfig baseline = design;
+    baseline.label = "baseline";
+    baseline.mode = MitigationMode::NoMitigation;
+    baseline.perBankRfm = false;
+
+    const BaselineKey key = baselineKey(entry, design, budget, cores);
+    std::shared_future<RunResult> future;
+    std::promise<RunResult> promise;
+    bool owner = false;
+    {
+        const std::lock_guard<std::mutex> lock(g_baselineMutex);
+        const auto it = g_baselineCache.find(key);
+        if (it != g_baselineCache.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            g_baselineCache.emplace(key, future);
+            owner = true;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(runOne(entry, baseline, budget, cores));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+
+    PairResult pair;
+    pair.design = runOne(entry, design, budget, cores);
+    pair.baseline = future.get();
+    return pair;
+}
+
+void
+clearBaselineCache()
+{
+    const std::lock_guard<std::mutex> lock(g_baselineMutex);
+    g_baselineCache.clear();
+}
+
+std::vector<EntryPerf>
+runSuiteNormalized(const std::vector<SuiteEntry> &entries,
+                   const DesignConfig &design, const RunBudget &budget,
+                   ThreadPool *pool)
+{
+    std::vector<std::function<PairResult()>> jobs;
+    jobs.reserve(entries.size());
+    for (const SuiteEntry &entry : entries)
+        jobs.push_back([entry, design, budget] {
+            return runNormalizedPair(entry, design, budget);
+        });
+    auto pairs = runParallel(std::move(jobs), pool);
+
+    std::vector<EntryPerf> out;
+    out.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EntryPerf perf;
+        perf.name = entries[i].params.name;
+        perf.intensity = entries[i].intensity;
+        perf.normalized =
+            normalizedPerf(pairs[i].design, pairs[i].baseline);
+        perf.result = std::move(pairs[i].design);
+        out.push_back(std::move(perf));
+    }
+    return out;
+}
+
+double
+meanNormalized(const std::vector<EntryPerf> &perfs)
+{
+    if (perfs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &perf : perfs)
+        sum += perf.normalized;
+    return sum / static_cast<double>(perfs.size());
+}
+
+const SuiteEntry &
+findSuiteEntry(const std::string &name)
+{
+    static const std::vector<SuiteEntry> suite = standardSuite();
+    for (const SuiteEntry &entry : suite)
+        if (entry.params.name == name)
+            return entry;
+    std::string known;
+    for (const SuiteEntry &entry : suite)
+        known += (known.empty() ? "" : ", ") + entry.params.name;
+    throw std::invalid_argument("unknown suite entry '" + name +
+                                "' (have: " + known + ")");
+}
+
+std::vector<std::string>
+suiteEntryNames()
+{
+    std::vector<std::string> names;
+    for (const SuiteEntry &entry : standardSuite())
+        names.push_back(entry.params.name);
+    return names;
+}
+
+std::vector<std::string>
+suiteEntryNames(MemIntensity intensity)
+{
+    std::vector<std::string> names;
+    for (const SuiteEntry &entry : standardSuite())
+        if (entry.intensity == intensity)
+            names.push_back(entry.params.name);
+    return names;
+}
+
+std::vector<std::string>
+memoryIntensiveEntryNames()
+{
+    std::vector<std::string> names = suiteEntryNames(MemIntensity::High);
+    for (auto &name : suiteEntryNames(MemIntensity::Medium))
+        names.push_back(std::move(name));
+    return names;
+}
+
+} // namespace pracleak::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Evaluated-design configuration and run helpers shared by every
+ * performance scenario (Figs. 10-14, Tables 4-5, ablations).
+ *
+ * Moved out of bench/perf_common.h so the scenario runner, the bench
+ * binaries, and the examples all build the same SystemConfig for a
+ * given (design, budget) pair.  Baseline runs are memoized: a sweep
+ * that compares N designs against the NoMitigation baseline on the
+ * same workload performs one baseline simulation, not N.
+ */
+
+#ifndef PRACLEAK_SIM_DESIGN_H
+#define PRACLEAK_SIM_DESIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/system.h"
+#include "sim/thread_pool.h"
+#include "tprac/analysis.h"
+#include "tprac/tb_rfm.h"
+#include "workload/suite.h"
+
+namespace pracleak::sim {
+
+/** Design variants evaluated in the paper's performance section. */
+struct DesignConfig
+{
+    std::string label;
+    MitigationMode mode = MitigationMode::NoMitigation;
+    std::uint32_t nbo = 1024;       //!< NBO = NRH proxy (see DESIGN.md)
+    std::uint32_t nmit = 1;         //!< PRAC level
+    std::uint32_t trefPeriodRefs = 0;   //!< 0 = no TREF
+    bool counterReset = true;
+    bool perBankRfm = false;        //!< TPRAC-PB (Section 7.2)
+
+    /** Random-RFM injection rate (Obfuscation mode); <0 = default. */
+    double randomRfmPerTrefi = -1.0;
+};
+
+/** Instruction budgets for bench runs (scaled-down from the paper). */
+struct RunBudget
+{
+    std::uint64_t warmup = 50'000;
+    std::uint64_t measure = 250'000;
+};
+
+/** Build the full-system configuration for one design point. */
+SystemConfig makeSystemConfig(const DesignConfig &design,
+                              const RunBudget &budget);
+
+/** One (workload, design) run. */
+RunResult runOne(const SuiteEntry &entry, const DesignConfig &design,
+                 const RunBudget &budget, std::uint32_t cores = 4);
+
+/**
+ * Run @p design and its NoMitigation baseline on @p entry.  The
+ * baseline leg is served from a process-wide memoization cache keyed
+ * on every baseline-visible knob, so design sweeps over the same
+ * workload pay for it once.
+ */
+struct PairResult
+{
+    RunResult baseline;
+    RunResult design;
+};
+
+PairResult runNormalizedPair(const SuiteEntry &entry,
+                             const DesignConfig &design,
+                             const RunBudget &budget,
+                             std::uint32_t cores = 4);
+
+/** Drop all memoized baseline runs (tests / measurement hygiene). */
+void clearBaselineCache();
+
+/** Per-entry normalized performance (weighted speedup). */
+struct EntryPerf
+{
+    std::string name;
+    MemIntensity intensity = MemIntensity::Low;
+    double normalized = 0.0;
+    RunResult result;
+};
+
+/**
+ * Run every suite entry under @p design and the matching baseline in
+ * parallel on @p pool (shared pool by default), returning per-entry
+ * normalized performance.
+ */
+std::vector<EntryPerf>
+runSuiteNormalized(const std::vector<SuiteEntry> &entries,
+                   const DesignConfig &design, const RunBudget &budget,
+                   ThreadPool *pool = nullptr);
+
+/** Arithmetic mean of normalized performance. */
+double meanNormalized(const std::vector<EntryPerf> &perfs);
+
+/**
+ * Find a suite entry by workload name in the standard suite; throws
+ * std::invalid_argument for unknown names (lists the valid ones).
+ */
+const SuiteEntry &findSuiteEntry(const std::string &name);
+
+/** Names of the standard-suite entries, optionally filtered. */
+std::vector<std::string> suiteEntryNames();
+std::vector<std::string> suiteEntryNames(MemIntensity intensity);
+
+/** High + Medium entry names (the paper's sensitivity subset). */
+std::vector<std::string> memoryIntensiveEntryNames();
+
+} // namespace pracleak::sim
+
+#endif // PRACLEAK_SIM_DESIGN_H

@@ -1,0 +1,250 @@
+#include "sim/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pracleak::sim {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue value;
+    value.kind_ = Kind::Array;
+    return value;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue value;
+    value.kind_ = Kind::Object;
+    return value;
+}
+
+bool
+JsonValue::asBool() const
+{
+    switch (kind_) {
+      case Kind::Bool: return bool_;
+      case Kind::Int: return int_ != 0;
+      case Kind::Double: return double_ != 0.0;
+      case Kind::String: return string_ == "true" || string_ == "1";
+      default: return false;
+    }
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    switch (kind_) {
+      case Kind::Bool: return bool_ ? 1 : 0;
+      case Kind::Int: return int_;
+      case Kind::Double: return static_cast<std::int64_t>(double_);
+      case Kind::String: return std::strtoll(string_.c_str(), nullptr, 10);
+      default: return 0;
+    }
+}
+
+double
+JsonValue::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Bool: return bool_ ? 1.0 : 0.0;
+      case Kind::Int: return static_cast<double>(int_);
+      case Kind::Double: return double_;
+      case Kind::String: return std::strtod(string_.c_str(), nullptr);
+      default: return 0.0;
+    }
+}
+
+std::string
+JsonValue::asString() const
+{
+    if (kind_ == Kind::String)
+        return string_;
+    if (kind_ == Kind::Array || kind_ == Kind::Object)
+        return dump();
+    std::string out;
+    dumpTo(out, 0, 0);
+    return out;
+}
+
+JsonValue &
+JsonValue::push(JsonValue element)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        throw std::logic_error("JsonValue::push on non-array");
+    items_.push_back(std::move(element));
+    return *this;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        throw std::logic_error("JsonValue::set on non-object");
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    for (const auto &member : members_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+bool
+JsonValue::scalarEquals(const JsonValue &other) const
+{
+    if (isNumber() && other.isNumber())
+        return asDouble() == other.asDouble();
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return bool_ == other.bool_;
+      case Kind::String: return string_ == other.string_;
+      default: return false;
+    }
+}
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * depth, ' ');
+    }
+}
+
+std::string
+formatDouble(double value)
+{
+    if (std::isnan(value))
+        return "null";
+    if (std::isinf(value))
+        return value > 0 ? "1e999" : "-1e999";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    return buf;
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null: out += "null"; break;
+      case Kind::Bool: out += bool_ ? "true" : "false"; break;
+      case Kind::Int: out += std::to_string(int_); break;
+      case Kind::Double: out += formatDouble(double_); break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(string_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            appendIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            appendIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            appendIndent(out, indent, depth + 1);
+            out += '"';
+            out += jsonEscape(members_[i].first);
+            out += "\": ";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            appendIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+JsonValue
+parseScalar(const std::string &text)
+{
+    if (text == "true")
+        return JsonValue(true);
+    if (text == "false")
+        return JsonValue(false);
+    if (text == "null")
+        return JsonValue();
+    if (!text.empty()) {
+        char *end = nullptr;
+        const long long asInt = std::strtoll(text.c_str(), &end, 10);
+        if (end && *end == '\0')
+            return JsonValue(static_cast<std::int64_t>(asInt));
+        const double asDouble = std::strtod(text.c_str(), &end);
+        if (end && *end == '\0')
+            return JsonValue(asDouble);
+    }
+    return JsonValue(text);
+}
+
+} // namespace pracleak::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal ordered JSON value tree used by the scenario runner for
+ * machine-readable results (and, via scalar values, for parameter
+ * grids).  Deliberately dependency-free: the container image bakes in
+ * no JSON library, and the subset needed here -- build a tree, dump
+ * it -- is small.
+ *
+ * Objects preserve insertion order so emitted files diff cleanly and
+ * CSV flattening sees a stable column order.
+ */
+
+#ifndef PRACLEAK_SIM_JSON_H
+#define PRACLEAK_SIM_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pracleak::sim {
+
+/** One JSON value (scalar, array, or insertion-ordered object). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool value) : kind_(Kind::Bool), bool_(value) {}
+    JsonValue(int value) : kind_(Kind::Int), int_(value) {}
+    JsonValue(unsigned value) : kind_(Kind::Int), int_(value) {}
+    JsonValue(std::int64_t value) : kind_(Kind::Int), int_(value) {}
+    JsonValue(std::uint64_t value)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(value))
+    {
+    }
+    JsonValue(double value) : kind_(Kind::Double), double_(value) {}
+    JsonValue(std::string value)
+        : kind_(Kind::String), string_(std::move(value))
+    {
+    }
+    JsonValue(const char *value) : kind_(Kind::String), string_(value) {}
+
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    /** Coercive scalar accessors (numbers interconvert). */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    /** String content, or a rendered scalar for non-strings. */
+    std::string asString() const;
+
+    /** Array: append an element (kind must be Array or Null). */
+    JsonValue &push(JsonValue element);
+    const std::vector<JsonValue> &items() const { return items_; }
+
+    /** Object: set/overwrite a key, preserving first-seen order. */
+    JsonValue &set(const std::string &key, JsonValue value);
+    /** Object: lookup, nullptr when missing. */
+    const JsonValue *get(const std::string &key) const;
+    bool has(const std::string &key) const { return get(key) != nullptr; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Serialize; indent == 0 gives a compact single line. */
+    std::string dump(int indent = 0) const;
+
+    /** Equality over scalars (used by axis-override matching). */
+    bool scalarEquals(const JsonValue &other) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Escape a string for inclusion in JSON output (without quotes). */
+std::string jsonEscape(const std::string &raw);
+
+/**
+ * Parse a scalar literal from CLI text: "true"/"false", integers,
+ * doubles, else a plain string.
+ */
+JsonValue parseScalar(const std::string &text);
+
+} // namespace pracleak::sim
+
+#endif // PRACLEAK_SIM_JSON_H

@@ -1,0 +1,167 @@
+#include "sim/param_grid.h"
+
+#include <stdexcept>
+
+namespace pracleak::sim {
+
+void
+ParamSet::add(const std::string &name, JsonValue value)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == name) {
+            entry.second = std::move(value);
+            return;
+        }
+    }
+    entries_.emplace_back(name, std::move(value));
+}
+
+bool
+ParamSet::has(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.first == name)
+            return true;
+    return false;
+}
+
+const JsonValue &
+ParamSet::at(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.first == name)
+            return entry.second;
+    throw std::out_of_range("ParamSet: no parameter named '" + name +
+                            "'");
+}
+
+std::int64_t
+ParamSet::getInt(const std::string &name) const
+{
+    return at(name).asInt();
+}
+
+double
+ParamSet::getDouble(const std::string &name) const
+{
+    return at(name).asDouble();
+}
+
+bool
+ParamSet::getBool(const std::string &name) const
+{
+    return at(name).asBool();
+}
+
+std::string
+ParamSet::getString(const std::string &name) const
+{
+    return at(name).asString();
+}
+
+std::string
+ParamSet::label() const
+{
+    std::string out;
+    for (const auto &[name, value] : entries_) {
+        if (!out.empty())
+            out += ' ';
+        out += name;
+        out += '=';
+        out += value.asString();
+    }
+    return out;
+}
+
+JsonValue
+ParamSet::toJson() const
+{
+    JsonValue obj = JsonValue::object();
+    for (const auto &[name, value] : entries_)
+        obj.set(name, value);
+    return obj;
+}
+
+ParamGrid &
+ParamGrid::axis(std::string name, std::vector<JsonValue> values)
+{
+    if (values.empty())
+        throw std::invalid_argument("ParamGrid: axis '" + name +
+                                    "' has no values");
+    axes_.push_back(ParamAxis{std::move(name), std::move(values)});
+    return *this;
+}
+
+ParamGrid &
+ParamGrid::constant(std::string name, JsonValue value)
+{
+    return axis(std::move(name), {std::move(value)});
+}
+
+std::size_t
+ParamGrid::size() const
+{
+    std::size_t n = 1;
+    for (const auto &axis : axes_)
+        n *= axis.values.size();
+    return n;
+}
+
+ParamSet
+ParamGrid::point(std::size_t index) const
+{
+    ParamSet set;
+    // Row-major: the last declared axis varies fastest, so output
+    // ordering matches nested loops written in declaration order.
+    std::size_t stride = size();
+    for (const auto &axis : axes_) {
+        stride /= axis.values.size();
+        const std::size_t pick = (index / stride) % axis.values.size();
+        set.add(axis.name, axis.values[pick]);
+    }
+    return set;
+}
+
+const ParamAxis *
+ParamGrid::findAxis(const std::string &name) const
+{
+    for (const auto &axis : axes_)
+        if (axis.name == name)
+            return &axis;
+    return nullptr;
+}
+
+void
+ParamGrid::overrideAxis(const std::string &name,
+                        std::vector<JsonValue> values)
+{
+    if (values.empty())
+        throw std::invalid_argument("ParamGrid: override of '" + name +
+                                    "' has no values");
+    for (auto &axis : axes_) {
+        if (axis.name == name) {
+            axis.values = std::move(values);
+            return;
+        }
+    }
+    std::string known;
+    for (const auto &axis : axes_)
+        known += (known.empty() ? "" : ", ") + axis.name;
+    throw std::invalid_argument("ParamGrid: unknown axis '" + name +
+                                "' (have: " + known + ")");
+}
+
+JsonValue
+ParamGrid::toJson() const
+{
+    JsonValue obj = JsonValue::object();
+    for (const auto &axis : axes_) {
+        JsonValue values = JsonValue::array();
+        for (const auto &value : axis.values)
+            values.push(value);
+        obj.set(axis.name, std::move(values));
+    }
+    return obj;
+}
+
+} // namespace pracleak::sim

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * `pracbench` -- the unified scenario runner CLI.
+ *
+ *   pracbench --list
+ *   pracbench --scenario fig10_performance --jobs 4 --out results/fig10.json
+ *   pracbench --scenario all --out results/ --csv results/
+ *   pracbench --scenario fig13_nrh_sweep --set nrh=512,1024 --set measure=50000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+using namespace pracleak::sim;
+
+namespace {
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: pracbench [options]\n"
+        "\n"
+        "  --list                 list registered scenarios and exit\n"
+        "  --scenario NAME        run a scenario (repeatable; 'all' "
+        "runs every one)\n"
+        "  --jobs N               worker threads (default: hardware "
+        "concurrency)\n"
+        "  --out PATH             write JSON results; a .json path "
+        "for a single\n"
+        "                         scenario, else a directory "
+        "(NAME.json per scenario)\n"
+        "  --csv PATH             same for CSV output\n"
+        "  --set AXIS=V1[,V2...]  override a grid axis (repeatable; "
+        "unknown axes error)\n"
+        "  --try-set AXIS=V1[,..] like --set, but skipped when the "
+        "scenario has no such axis\n"
+        "  --quiet                suppress per-point progress lines\n"
+        "  --no-table             skip the text tables on stdout\n"
+        "  --help                 this message\n");
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+std::vector<JsonValue>
+parseValueList(const std::string &text)
+{
+    std::vector<JsonValue> values;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string piece =
+            text.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!piece.empty())
+            values.push_back(parseScalar(piece));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return values;
+}
+
+std::string
+outputPath(const std::string &base, const std::string &scenario,
+           const char *extension, bool single)
+{
+    if (single && endsWith(base, extension))
+        return base;
+    std::string dir = base;
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+    return dir + scenario + extension;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerBuiltinScenarios();
+
+    std::vector<std::string> names;
+    SweepOptions options;
+    std::string outJson;
+    std::string outCsv;
+    bool list = false;
+    bool table = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pracbench: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--scenario" || arg == "-s") {
+            names.push_back(next("--scenario"));
+        } else if (arg == "--jobs" || arg == "-j") {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(next("--jobs").c_str(), nullptr, 10));
+        } else if (arg == "--out" || arg == "-o") {
+            outJson = next("--out");
+        } else if (arg == "--csv") {
+            outCsv = next("--csv");
+        } else if (arg == "--set" || arg == "--try-set") {
+            const std::string spec = next(arg.c_str());
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr,
+                             "pracbench: %s expects AXIS=V1[,V2]\n",
+                             arg.c_str());
+                return 2;
+            }
+            auto &target = arg == "--set" ? options.overrides
+                                          : options.softOverrides;
+            target[spec.substr(0, eq)] =
+                parseValueList(spec.substr(eq + 1));
+        } else if (arg == "--quiet" || arg == "-q") {
+            options.progress = false;
+        } else if (arg == "--no-table") {
+            table = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "pracbench: unknown option '%s'\n",
+                         arg.c_str());
+            printUsage();
+            return 2;
+        }
+    }
+
+    const ScenarioRegistry &registry = ScenarioRegistry::instance();
+
+    if (list) {
+        std::printf("%-28s %7s  %s\n", "scenario", "points", "title");
+        for (const Scenario *scenario : registry.all())
+            std::printf("%-28s %7zu  %s\n", scenario->name.c_str(),
+                        scenario->grid.size(),
+                        scenario->title.c_str());
+        return 0;
+    }
+
+    if (names.empty()) {
+        printUsage();
+        return 2;
+    }
+    if (names.size() == 1 && names[0] == "all") {
+        names.clear();
+        for (const Scenario *scenario : registry.all())
+            names.push_back(scenario->name);
+    }
+
+    const bool single = names.size() == 1;
+    if (!single && (endsWith(outJson, ".json") ||
+                    endsWith(outCsv, ".csv"))) {
+        std::fprintf(stderr,
+                     "pracbench: multiple scenarios need a directory "
+                     "for --out/--csv, not a file path\n");
+        return 2;
+    }
+    for (const std::string &name : names) {
+        try {
+            const SweepResult result =
+                runScenarioByName(name, options);
+            if (table)
+                printTables(result);
+            if (!outJson.empty()) {
+                const std::string path =
+                    outputPath(outJson, name, ".json", single);
+                if (!writeFile(path, result.toJson().dump(2) + "\n"))
+                    return 1;
+                std::fprintf(stderr, "pracbench: wrote %s\n",
+                             path.c_str());
+            }
+            if (!outCsv.empty()) {
+                const std::string path =
+                    outputPath(outCsv, name, ".csv", single);
+                if (!writeFile(path, result.toCsv()))
+                    return 1;
+                std::fprintf(stderr, "pracbench: wrote %s\n",
+                             path.c_str());
+            }
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "pracbench: %s\n", error.what());
+            return 2;
+        }
+    }
+    return 0;
+}

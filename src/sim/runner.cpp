@@ -1,0 +1,279 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+namespace pracleak::sim {
+
+namespace {
+
+/** Merge point parameters into a row without clobbering metrics. */
+ResultRow
+mergeParams(const ParamSet &params, ResultRow row)
+{
+    ResultRow merged = JsonValue::object();
+    for (const auto &[name, value] : params.entries())
+        if (!row.has(name))
+            merged.set(name, value);
+    for (const auto &[name, value] : row.members())
+        merged.set(name, value);
+    return merged;
+}
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+cellText(const JsonValue &value)
+{
+    if (value.kind() == JsonValue::Kind::Array ||
+        value.kind() == JsonValue::Kind::Object)
+        return value.dump();
+    return value.asString();
+}
+
+/** Union of row keys in first-seen order (table + CSV column order). */
+std::vector<std::string>
+collectColumns(const std::vector<ResultRow> &rows)
+{
+    std::vector<std::string> columns;
+    for (const ResultRow &row : rows)
+        for (const auto &[name, value] : row.members()) {
+            (void)value;
+            bool known = false;
+            for (const auto &column : columns)
+                known = known || column == name;
+            if (!known)
+                columns.push_back(name);
+        }
+    return columns;
+}
+
+} // namespace
+
+std::string
+rowsToCsv(const std::vector<ResultRow> &rows)
+{
+    const std::vector<std::string> columns = collectColumns(rows);
+
+    std::string out;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out += ',';
+        out += csvEscape(columns[i]);
+    }
+    out += '\n';
+    for (const ResultRow &row : rows) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (i)
+                out += ',';
+            if (const JsonValue *value = row.get(columns[i]))
+                out += csvEscape(cellText(*value));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+JsonValue
+SweepResult::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    root.set("scenario", scenario);
+    root.set("title", title);
+    if (!notes.empty())
+        root.set("notes", notes);
+    root.set("generator", "pracbench");
+    root.set("jobs", static_cast<std::int64_t>(jobs));
+    root.set("points", static_cast<std::int64_t>(points));
+    root.set("wall_seconds", wallSeconds);
+    root.set("grid", grid);
+
+    JsonValue rowArray = JsonValue::array();
+    for (const ResultRow &row : rows)
+        rowArray.push(row);
+    root.set("rows", std::move(rowArray));
+
+    JsonValue summaryArray = JsonValue::array();
+    for (const ResultRow &row : summary)
+        summaryArray.push(row);
+    root.set("summary", std::move(summaryArray));
+    return root;
+}
+
+std::string
+SweepResult::toCsv() const
+{
+    return rowsToCsv(rows);
+}
+
+SweepResult
+runScenario(const Scenario &scenario, const SweepOptions &options)
+{
+    ParamGrid grid = scenario.grid;
+    for (const auto &[axis, values] : options.overrides)
+        grid.overrideAxis(axis, values);
+    for (const auto &[axis, values] : options.softOverrides)
+        if (grid.findAxis(axis))
+            grid.overrideAxis(axis, values);
+
+    ThreadPool pool(options.jobs);
+    const std::size_t n = grid.size();
+
+    SweepResult result;
+    result.scenario = scenario.name;
+    result.title = scenario.title;
+    result.notes = scenario.notes;
+    result.grid = grid.toJson();
+    result.jobs = pool.threadCount();
+    result.points = n;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> completed{0};
+    std::mutex printMutex;
+
+    std::vector<std::function<std::vector<ResultRow>()>> jobs;
+    jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        jobs.push_back([&, i] {
+            const ParamSet params = grid.point(i);
+            std::vector<ResultRow> rows = scenario.runPoint(params);
+            for (ResultRow &row : rows)
+                row = mergeParams(params, std::move(row));
+            const std::size_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (options.progress) {
+                const std::lock_guard<std::mutex> lock(printMutex);
+                std::fprintf(stderr, "[%3zu/%zu] %s %s\n", done, n,
+                             scenario.name.c_str(),
+                             params.label().c_str());
+            }
+            return rows;
+        });
+    }
+    auto rowsPerPoint = pool.map(std::move(jobs));
+
+    for (auto &rows : rowsPerPoint)
+        for (ResultRow &row : rows)
+            result.rows.push_back(std::move(row));
+    if (scenario.summarize)
+        result.summary = scenario.summarize(result.rows);
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+SweepResult
+runScenarioByName(const std::string &name, const SweepOptions &options)
+{
+    const Scenario *scenario =
+        ScenarioRegistry::instance().find(name);
+    if (!scenario)
+        throw std::invalid_argument("unknown scenario '" + name +
+                                    "' (try --list)");
+    return runScenario(*scenario, options);
+}
+
+namespace {
+
+void
+printTable(const std::vector<ResultRow> &rows)
+{
+    if (rows.empty())
+        return;
+    const std::vector<std::string> columns = collectColumns(rows);
+
+    std::vector<std::size_t> widths;
+    for (const auto &column : columns)
+        widths.push_back(column.size());
+    std::vector<std::vector<std::string>> cells;
+    for (const ResultRow &row : rows) {
+        std::vector<std::string> line;
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            const JsonValue *value = row.get(columns[i]);
+            std::string text = value ? cellText(*value) : "";
+            if (text.size() > 40)
+                text = text.substr(0, 37) + "...";
+            widths[i] = std::max(widths[i], text.size());
+            line.push_back(std::move(text));
+        }
+        cells.push_back(std::move(line));
+    }
+
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        std::printf("%s%-*s", i ? "  " : "",
+                    static_cast<int>(widths[i]), columns[i].c_str());
+    std::printf("\n");
+    for (const auto &line : cells) {
+        for (std::size_t i = 0; i < columns.size(); ++i)
+            std::printf("%s%-*s", i ? "  " : "",
+                        static_cast<int>(widths[i]), line[i].c_str());
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+void
+printTables(const SweepResult &result)
+{
+    std::printf("\n=== %s ===\n", result.title.c_str());
+    printTable(result.rows);
+    if (!result.summary.empty()) {
+        std::printf("\n--- summary ---\n");
+        printTable(result.summary);
+    }
+    if (!result.notes.empty())
+        std::printf("\n(%s)\n", result.notes.c_str());
+    std::printf("[%zu points, %u jobs, %.1fs]\n\n", result.points,
+                result.jobs, result.wallSeconds);
+}
+
+void
+runAndPrint(const std::string &name)
+{
+    registerBuiltinScenarios();
+    SweepOptions options;
+    options.progress = false;
+    printTables(runScenarioByName(name, options));
+}
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::error_code ec;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path(), ec);
+    std::ofstream out(target, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "pracbench: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << contents;
+    out.close();
+    return out.good();
+}
+
+} // namespace pracleak::sim

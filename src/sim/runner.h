@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parallel sweep runner: enumerate a scenario's parameter grid, fan
+ * the points across a thread pool, collect per-point result rows,
+ * and emit machine-readable JSON / CSV plus an aligned text table.
+ */
+
+#ifndef PRACLEAK_SIM_RUNNER_H
+#define PRACLEAK_SIM_RUNNER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "sim/thread_pool.h"
+
+namespace pracleak::sim {
+
+/** Knobs for one sweep invocation. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+
+    /** Axis overrides: name -> replacement values (CLI --set). */
+    std::map<std::string, std::vector<JsonValue>> overrides;
+
+    /**
+     * Like overrides, but silently skipped when the scenario has no
+     * such axis (CLI --try-set) -- lets one flag set apply across a
+     * fleet of scenarios with different grids.
+     */
+    std::map<std::string, std::vector<JsonValue>> softOverrides;
+
+    /** Print one line per completed point. */
+    bool progress = true;
+};
+
+/** Everything a sweep produced. */
+struct SweepResult
+{
+    std::string scenario;
+    std::string title;
+    std::string notes;
+    JsonValue grid;                  //!< effective axes after overrides
+    std::vector<ResultRow> rows;     //!< point params merged in
+    std::vector<ResultRow> summary;
+    unsigned jobs = 0;
+    std::size_t points = 0;
+    double wallSeconds = 0.0;
+
+    JsonValue toJson() const;
+    std::string toCsv() const;       //!< rows only (summary excluded)
+};
+
+/**
+ * Run @p scenario under @p options.  Throws std::invalid_argument
+ * for bad axis overrides; exceptions from scenario points propagate.
+ */
+SweepResult runScenario(const Scenario &scenario,
+                        const SweepOptions &options = {});
+
+/** runScenario by registry name; throws when the name is unknown. */
+SweepResult runScenarioByName(const std::string &name,
+                              const SweepOptions &options = {});
+
+/** Print rows (and summary, when present) as aligned text tables. */
+void printTables(const SweepResult &result);
+
+/**
+ * Convenience for the thin bench binaries: register built-ins, run
+ * one scenario with default options, print its tables and notes.
+ */
+void runAndPrint(const std::string &name);
+
+/**
+ * Write @p contents to @p path, creating parent directories.
+ * Returns false (and prints to stderr) on I/O failure.
+ */
+bool writeFile(const std::string &path, const std::string &contents);
+
+/** Render rows as CSV (union of keys, first-seen column order). */
+std::string rowsToCsv(const std::vector<ResultRow> &rows);
+
+} // namespace pracleak::sim
+
+#endif // PRACLEAK_SIM_RUNNER_H

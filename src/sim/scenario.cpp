@@ -1,0 +1,74 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace pracleak::sim {
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(Scenario scenario)
+{
+    if (scenario.name.empty())
+        throw std::invalid_argument("scenario has no name");
+    if (!scenario.runPoint)
+        throw std::invalid_argument("scenario '" + scenario.name +
+                                    "' has no runPoint");
+    if (find(scenario.name))
+        throw std::invalid_argument("duplicate scenario '" +
+                                    scenario.name + "'");
+    scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const Scenario &scenario : scenarios_)
+        if (scenario.name == name)
+            return &scenario;
+    return nullptr;
+}
+
+std::vector<const Scenario *>
+ScenarioRegistry::all() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(scenarios_.size());
+    for (const Scenario &scenario : scenarios_)
+        out.push_back(&scenario);
+    std::sort(out.begin(), out.end(),
+              [](const Scenario *a, const Scenario *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+// Implemented by the scenario translation units (scenarios_*.cpp).
+void registerAttackScenarios(ScenarioRegistry &registry);
+void registerAnalysisScenarios(ScenarioRegistry &registry);
+void registerPerfScenarios(ScenarioRegistry &registry);
+void registerCovertScenarios(ScenarioRegistry &registry);
+void registerAblationScenarios(ScenarioRegistry &registry);
+
+void
+registerBuiltinScenarios()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ScenarioRegistry &registry = ScenarioRegistry::instance();
+        registerAttackScenarios(registry);
+        registerAnalysisScenarios(registry);
+        registerPerfScenarios(registry);
+        registerCovertScenarios(registry);
+        registerAblationScenarios(registry);
+    });
+}
+
+} // namespace pracleak::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small helpers shared by the scenario translation units.
+ */
+
+#ifndef PRACLEAK_SIM_SCENARIO_UTIL_H
+#define PRACLEAK_SIM_SCENARIO_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/json.h"
+
+namespace pracleak::sim {
+
+/** Lift a list of names into grid-axis values. */
+inline std::vector<JsonValue>
+toValues(const std::vector<std::string> &names)
+{
+    std::vector<JsonValue> values;
+    values.reserve(names.size());
+    for (const auto &name : names)
+        values.push_back(JsonValue(name));
+    return values;
+}
+
+/** Deterministic random bit message for covert-channel payloads. */
+inline std::vector<bool>
+randomBits(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<bool> bits(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bits[i] = rng.chance(0.5);
+    return bits;
+}
+
+} // namespace pracleak::sim
+
+#endif // PRACLEAK_SIM_SCENARIO_UTIL_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic scenarios (no simulation): Figure 7, the TMAX-vs-TB-Window
+ * security analysis that derives the safe TPRAC configuration.
+ */
+
+#include "sim/scenario.h"
+
+#include "tprac/analysis.h"
+
+namespace pracleak::sim {
+
+namespace {
+
+FeintingParams
+feintingParams()
+{
+    return FeintingParams::fromSpec(DramSpec::ddr5_8000b());
+}
+
+Scenario
+fig07TmaxAnalysis()
+{
+    Scenario scenario;
+    scenario.name = "fig07_tmax_analysis";
+    scenario.title = "Figure 7: TMAX vs TB-Window, and derived safe "
+                     "windows per NBO";
+    scenario.notes = "paper: safe TB-Window ~1.6 tREFI at NRH = 1024";
+    scenario.grid.axis("window_trefi",
+                       {0.25, 0.5, 0.75, 1.0, 2.0, 4.0});
+
+    scenario.runPoint = [](const ParamSet &params) {
+        const FeintingParams p = feintingParams();
+        const double windowNs =
+            params.getDouble("window_trefi") * p.trefiNs;
+        ResultRow row = JsonValue::object();
+        row.set("tmax_reset", tmaxWithReset(windowNs, p));
+        row.set("tmax_noreset", tmaxNoReset(windowNs, p));
+        row.set("acts_per_window", actsPerWindow(windowNs, p));
+        return std::vector<ResultRow>{std::move(row)};
+    };
+
+    scenario.summarize = [](const std::vector<ResultRow> &) {
+        const FeintingParams p = feintingParams();
+        std::vector<ResultRow> rows;
+        for (const std::uint32_t nbo :
+             {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+            ResultRow row = JsonValue::object();
+            row.set("nbo", nbo);
+            row.set("safe_window_trefi_reset",
+                    maxSafeWindowNs(nbo, true, p) / p.trefiNs);
+            row.set("safe_window_trefi_noreset",
+                    maxSafeWindowNs(nbo, false, p) / p.trefiNs);
+            row.set("safe_bat", maxSafeBat(nbo, true, p));
+            rows.push_back(std::move(row));
+        }
+        return rows;
+    };
+    return scenario;
+}
+
+} // namespace
+
+void
+registerAnalysisScenarios(ScenarioRegistry &registry)
+{
+    registry.add(fig07TmaxAnalysis());
+}
+
+} // namespace pracleak::sim
