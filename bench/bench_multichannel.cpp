@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-channel driver: channel-count performance sweep and
+ * cross-channel isolation.  The experiments are registered as
+ * "perf_channel_sweep" and "sidechannel_cross_channel"
+ * (src/sim/scenarios_multichannel.cpp); the microbenchmarks below
+ * time the building blocks -- channel routing in the address mapper
+ * and one System step with idle-cycle fast-forward on vs off.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/system.h"
+#include "mem/address_mapper.h"
+#include "sim/runner.h"
+#include "workload/synthetic.h"
+
+using namespace pracleak;
+
+namespace {
+
+void
+BM_MapperChannelRouting(benchmark::State &state)
+{
+    const AddressMapper mapper(
+        DramOrg{}, MappingScheme::Mop4,
+        ChannelInterleave{
+            static_cast<std::uint32_t>(state.range(0)), 256, true});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.map(addr));
+        addr += 8 * kLineBytes + 4096;
+    }
+}
+
+BENCHMARK(BM_MapperChannelRouting)->Arg(1)->Arg(4);
+
+void
+BM_ChaseRun(benchmark::State &state)
+{
+    const bool fast_forward = state.range(0) != 0;
+    for (auto _ : state) {
+        SystemConfig config;
+        config.fastForward = fast_forward;
+        config.warmupInstrs = 2'000;
+        config.measureInstrs = 30'000;
+
+        const WorkloadParams params = pointerChaseParams(4096);
+        std::vector<std::unique_ptr<WorkloadSource>> sources;
+        sources.push_back(makeWorkload(params, 0));
+        System system(config, std::move(sources));
+        benchmark::DoNotOptimize(system.run().measureCycles);
+    }
+}
+
+BENCHMARK(BM_ChaseRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::runAndPrint("perf_channel_sweep");
+    sim::runAndPrint("sidechannel_cross_channel");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

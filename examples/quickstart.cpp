@@ -18,7 +18,8 @@ using namespace pracleak;
 namespace {
 
 RunResult
-runOnce(MitigationMode mode, std::uint32_t nbo)
+runOnce(MitigationMode mode, std::uint32_t nbo,
+        std::uint32_t channels = 1)
 {
     SystemConfig config;
     config.spec = DramSpec::ddr5_8000b();
@@ -28,6 +29,10 @@ runOnce(MitigationMode mode, std::uint32_t nbo)
         config.mem.tbRfm = TbRfmConfig::forNbo(nbo, true, config.spec);
     config.warmupInstrs = 20'000;
     config.measureInstrs = 200'000;
+
+    // Interleaved DDR5 channels, one controller + PRAC engine each;
+    // channels = 1 is the paper's single-channel configuration.
+    config.channels = channels;
 
     // A memory-intensive homogeneous 4-core workload.
     const SuiteEntry entry = standardSuite().front();
@@ -66,5 +71,16 @@ main()
                 100.0 * slowdown);
     std::printf("TPRAC alerts (must be 0 for a closed channel): %llu\n",
                 static_cast<unsigned long long>(tprac.alerts));
+
+    std::printf("\nrunning TPRAC again on two interleaved channels...\n");
+    const RunResult two = runOnce(MitigationMode::Tprac, kNbo, 2);
+    std::printf("2-channel IPC-sum %.3f (1-channel %.3f); per-channel "
+                "ACTs:",
+                two.ipcSum(), tprac.ipcSum());
+    for (const ChannelResult &channel : two.channels)
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(
+                        channel.energyCounts.acts));
+    std::printf("\n");
     return 0;
 }

@@ -31,9 +31,16 @@ echo "running ${#SCENARIOS[@]} scenarios -> ${OUT_DIR}/"
 
 for scenario in "${SCENARIOS[@]}"; do
     echo "==> ${scenario}"
+    EXTRA=()
+    # Wall-clock benchmarks need a quiet machine: run them serially
+    # so the thread pool does not skew the timings they report.
+    [[ "${scenario}" == "fastforward_benchmark" ]] && EXTRA+=(--jobs 1)
     # shellcheck disable=SC2086  # PRACBENCH_ARGS is intentionally split
+    # (the EXTRA expansion guard keeps `set -u` happy on bash < 4.4;
+    # EXTRA comes last so the forced --jobs 1 beats PRACBENCH_ARGS)
     "${PRACBENCH}" --scenario "${scenario}" --quiet --no-table \
-        --out "${OUT_DIR}/" --csv "${OUT_DIR}/" ${PRACBENCH_ARGS:-}
+        --out "${OUT_DIR}/" --csv "${OUT_DIR}/" \
+        ${PRACBENCH_ARGS:-} ${EXTRA[@]+"${EXTRA[@]}"}
 done
 
 echo "done: $(ls "${OUT_DIR}"/*.json | wc -l) JSON files in ${OUT_DIR}/"

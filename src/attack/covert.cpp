@@ -87,10 +87,13 @@ covertSpec(const CovertParams &params)
 class RfmDetector : public MemAgent
 {
   public:
-    explicit RfmDetector(const AddressMapper &mapper)
+    explicit RfmDetector(const AddressMapper &mapper,
+                         std::uint32_t channel = 0)
     {
         DramAddress a{0, 0, 0, 3, 0};
         DramAddress b{1, 0, 0, 3, 0};
+        a.channel = channel;
+        b.channel = channel;
         probeA_ = std::make_unique<ProbeAgent>(mapper.compose(a), false);
         probeB_ = std::make_unique<ProbeAgent>(mapper.compose(b), false);
     }
@@ -220,21 +223,40 @@ CovertResult
 runActivityCovert(const CovertParams &params,
                   const std::vector<bool> &message)
 {
+    return runActivityCovertParallel(params, {message})[0];
+}
+
+std::vector<CovertResult>
+runActivityCovertParallel(const CovertParams &params,
+                          const std::vector<std::vector<bool>> &messages)
+{
     const DramSpec spec = covertSpec(params);
-    AttackHarness harness(spec, covertControllerConfig(params));
-    const AddressMapper &mapper = harness.mem().mapper();
+    const auto channels = static_cast<std::uint32_t>(messages.size());
+    AttackHarness harness(spec, covertControllerConfig(params),
+                          channels);
 
-    RfmDetector detector(mapper);
+    // One sender/receiver pair per channel; the sender hammers a
+    // private bank, far from its channel's detector rows.
+    std::vector<std::unique_ptr<RfmDetector>> detectors;
+    std::vector<std::unique_ptr<HammerAgent>> senders;
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        const AddressMapper &mapper = harness.mem(c).mapper();
+        detectors.push_back(std::make_unique<RfmDetector>(mapper, c));
 
-    // Sender hammers a private bank, far from the detector's rows.
-    const DramAddress target{0, 4, 2, 0x100, 0};
-    std::vector<DramAddress> decoys;
-    for (std::uint32_t i = 0; i < 4; ++i)
-        decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
-    HammerAgent sender(mapper, target, decoys);
+        DramAddress target{0, 4, 2, 0x100, 0};
+        target.channel = c;
+        std::vector<DramAddress> decoys;
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            DramAddress decoy{0, 4, 2, 0x200 + i, 0};
+            decoy.channel = c;
+            decoys.push_back(decoy);
+        }
+        senders.push_back(std::make_unique<HammerAgent>(
+            mapper, target, std::move(decoys)));
 
-    harness.add(&detector);
-    harness.add(&sender);
+        harness.add(detectors[c].get(), c);
+        harness.add(senders[c].get(), c);
+    }
 
     // Settle caches/row state and the first refresh rounds.
     harness.run(spec.timing.tREFI * 4);
@@ -249,28 +271,41 @@ runActivityCovert(const CovertParams &params,
         row_cycle * 2 * params.nbo * 115 / 100 +
         spec.timing.tRFMab * spec.prac.nmit + nsToCycles(3000);
 
-    CovertResult result;
-    result.bitsPerSymbol = 1.0;
-    const Cycle t0 = harness.now();
+    std::vector<CovertResult> results(channels);
+    std::size_t max_bits = 0;
+    for (const auto &message : messages)
+        max_bits = std::max(max_bits, message.size());
 
-    for (const bool bit : message) {
+    for (std::size_t i = 0; i < max_bits; ++i) {
         const Cycle start = harness.now();
-        detector.clear();
-        if (bit)
-            sender.startHammer(params.nbo + spec.prac.aboAct + 4);
+        for (std::uint32_t c = 0; c < channels; ++c) {
+            if (i >= messages[c].size())
+                continue;
+            detectors[c]->clear();
+            if (messages[c][i])
+                senders[c]->startHammer(params.nbo +
+                                        spec.prac.aboAct + 4);
+        }
         harness.run(window);
-        sender.stop();
-
-        const bool decoded = detector.rfmSince(start);
-        result.sent.push_back(bit ? 1 : 0);
-        result.decoded.push_back(decoded ? 1 : 0);
-        if (decoded != bit)
-            ++result.symbolErrors;
-        ++result.symbolsSent;
+        for (std::uint32_t c = 0; c < channels; ++c) {
+            senders[c]->stop();
+            if (i >= messages[c].size())
+                continue;
+            const bool bit = messages[c][i];
+            const bool decoded = detectors[c]->rfmSince(start);
+            CovertResult &result = results[c];
+            result.sent.push_back(bit ? 1 : 0);
+            result.decoded.push_back(decoded ? 1 : 0);
+            if (decoded != bit)
+                ++result.symbolErrors;
+            ++result.symbolsSent;
+            result.totalCycles += harness.now() - start;
+        }
     }
 
-    result.totalCycles = harness.now() - t0;
-    return result;
+    for (CovertResult &result : results)
+        result.bitsPerSymbol = 1.0;
+    return results;
 }
 
 CovertResult

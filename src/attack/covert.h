@@ -82,6 +82,19 @@ CovertResult runActivityCovert(const CovertParams &params,
                                const std::vector<bool> &message);
 
 /**
+ * Run one independent activity-channel sender/receiver pair per
+ * memory channel, concurrently, on a single multi-channel harness
+ * (messages.size() channels; must be a power of two).  Per-channel
+ * PRAC state keeps the pairs isolated, so each result should match a
+ * standalone runActivityCovert of the same message -- a regression
+ * that leaks Alerts or RFMs across channels shows up here as decode
+ * errors.
+ */
+std::vector<CovertResult>
+runActivityCovertParallel(const CovertParams &params,
+                          const std::vector<std::vector<bool>> &messages);
+
+/**
  * Run the activation-count channel transmitting @p symbols, each in
  * [0, nbo/(2*spacing)) where spacing is 8 for nbo <= 256 and 16
  * beyond (log2(nbo)-4 or -5 bits per window).

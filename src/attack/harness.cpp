@@ -1,33 +1,46 @@
 #include "attack/harness.h"
 
+#include "common/log.h"
+
 namespace pracleak {
 
 AttackHarness::AttackHarness(const DramSpec &spec,
-                             const ControllerConfig &config)
-    : mem_(spec, config, &stats_)
+                             const ControllerConfig &config,
+                             std::uint32_t channels)
 {
+    if (channels == 0 || (channels & (channels - 1)) != 0)
+        fatal("AttackHarness: channels must be a power of two");
+    ControllerConfig per_channel = config;
+    per_channel.interleave.channels = channels;
+    mems_.reserve(channels);
+    for (std::uint32_t c = 0; c < channels; ++c)
+        mems_.push_back(std::make_unique<MemoryController>(
+            spec, per_channel, &stats_));
 }
 
 void
-AttackHarness::add(MemAgent *agent)
+AttackHarness::add(MemAgent *agent, std::uint32_t channel)
 {
-    agents_.push_back(agent);
+    if (channel >= mems_.size())
+        fatal("AttackHarness::add: no such channel");
+    agents_.push_back(Pinned{agent, channel});
 }
 
 void
 AttackHarness::step()
 {
-    const Cycle now = mem_.now();
-    for (auto *agent : agents_)
-        agent->tick(mem_, now);
-    mem_.tick();
+    const Cycle now = mems_[0]->now();
+    for (const Pinned &pinned : agents_)
+        pinned.agent->tick(*mems_[pinned.channel], now);
+    for (auto &mem : mems_)
+        mem->tick();
 }
 
 void
 AttackHarness::run(Cycle cycles)
 {
-    const Cycle end = mem_.now() + cycles;
-    while (mem_.now() < end)
+    const Cycle end = now() + cycles;
+    while (now() < end)
         step();
 }
 

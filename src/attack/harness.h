@@ -6,6 +6,12 @@
  * attacker flushes or bypasses them), so attack experiments drive the
  * memory controller directly with cycle-stepped *agents* -- exactly
  * how the paper runs spy/trojan/victim traces in Ramulator2.
+ *
+ * The harness can own several interleaved channels (one controller
+ * per channel, lockstep clock); each agent is pinned to one channel,
+ * which is how cross-channel experiments place a victim and a spy on
+ * different PRAC engines.  The default is the classic single-channel
+ * harness.
  */
 
 #ifndef PRACLEAK_ATTACK_HARNESS_H
@@ -30,14 +36,20 @@ class MemAgent
     virtual void tick(MemoryController &mem, Cycle now) = 0;
 };
 
-/** Owns a controller and steps a set of agents against it. */
+/** Owns one controller per channel and steps agents against them. */
 class AttackHarness
 {
   public:
-    AttackHarness(const DramSpec &spec, const ControllerConfig &config);
+    /**
+     * @param channels Interleaved channels to instantiate; config's
+     *                 ChannelInterleave fan-out is overridden to
+     *                 match.
+     */
+    AttackHarness(const DramSpec &spec, const ControllerConfig &config,
+                  std::uint32_t channels = 1);
 
-    /** Register an agent (not owned). */
-    void add(MemAgent *agent);
+    /** Register an agent (not owned) pinned to @p channel. */
+    void add(MemAgent *agent, std::uint32_t channel = 0);
 
     /** Run for @p cycles cycles. */
     void run(Cycle cycles);
@@ -47,22 +59,36 @@ class AttackHarness
     void
     runUntil(Pred predicate, Cycle max_cycles)
     {
-        const Cycle end = mem_.now() + max_cycles;
-        while (!predicate() && mem_.now() < end)
+        const Cycle end = now() + max_cycles;
+        while (!predicate() && now() < end)
             step();
     }
 
     /** Single cycle. */
     void step();
 
-    MemoryController &mem() { return mem_; }
+    MemoryController &mem() { return *mems_[0]; }
+    MemoryController &mem(std::uint32_t channel)
+    {
+        return *mems_[channel];
+    }
+    std::uint32_t channels() const
+    {
+        return static_cast<std::uint32_t>(mems_.size());
+    }
     StatSet &stats() { return stats_; }
-    Cycle now() const { return mem_.now(); }
+    Cycle now() const { return mems_[0]->now(); }
 
   private:
+    struct Pinned
+    {
+        MemAgent *agent;
+        std::uint32_t channel;
+    };
+
     StatSet stats_;
-    MemoryController mem_;
-    std::vector<MemAgent *> agents_;
+    std::vector<std::unique_ptr<MemoryController>> mems_;
+    std::vector<Pinned> agents_;
 };
 
 } // namespace pracleak

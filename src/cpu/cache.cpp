@@ -114,16 +114,39 @@ TagArray::invalidate(Addr line)
 CacheHierarchy::CacheHierarchy(const CacheHierConfig &config,
                                std::uint32_t num_cores,
                                MemoryController *mem, StatSet *stats)
-    : config_(config), mem_(mem), stats_(stats), llc_(config.llc),
+    : CacheHierarchy(config, num_cores,
+                     std::vector<MemoryController *>{mem}, stats)
+{
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierConfig &config,
+                               std::uint32_t num_cores,
+                               std::vector<MemoryController *> mems,
+                               StatSet *stats)
+    : config_(config), mems_(std::move(mems)), stats_(stats),
+      llc_(config.llc),
       mshrCapacity_(static_cast<std::size_t>(config.mshrsPerCore) *
                     num_cores)
 {
+    if (mems_.empty())
+        fatal("CacheHierarchy needs at least one memory controller");
+    if (mems_[0]->mapper().channels() != mems_.size())
+        fatal("controller count must match the channel-interleave "
+              "fan-out");
     l1_.reserve(num_cores);
     l2_.reserve(num_cores);
     for (std::uint32_t c = 0; c < num_cores; ++c) {
         l1_.emplace_back(config.l1);
         l2_.emplace_back(config.l2);
     }
+}
+
+MemoryController &
+CacheHierarchy::memFor(Addr line)
+{
+    if (mems_.size() == 1)
+        return *mems_[0];
+    return *mems_[mems_[0]->mapper().channelOf(line << kLineShift)];
 }
 
 bool
@@ -161,7 +184,7 @@ CacheHierarchy::writeback(Addr line)
     Request wb;
     wb.type = ReqType::Write;
     wb.addr = line << kLineShift;
-    if (!mem_->enqueue(std::move(wb))) {
+    if (!memFor(line).enqueue(std::move(wb))) {
         // Queue full: drop the writeback's bandwidth cost rather than
         // stalling the hierarchy; rare, and data correctness is not
         // modeled.
@@ -197,7 +220,8 @@ CacheHierarchy::missToDram(std::uint32_t core, Addr line, Waiter waiter)
         return true;
     }
 
-    if (mshrs_.size() >= mshrCapacity_ || !mem_->canAccept())
+    MemoryController &mem = memFor(line);
+    if (mshrs_.size() >= mshrCapacity_ || !mem.canAccept())
         return false;
 
     Request req;
@@ -220,7 +244,7 @@ CacheHierarchy::missToDram(std::uint32_t core, Addr line, Waiter waiter)
 
     Mshr entry;
     entry.waiters.push_back(std::move(waiter));
-    if (!mem_->enqueue(std::move(req)))
+    if (!mem.enqueue(std::move(req)))
         return false;
     mshrs_.emplace(line, std::move(entry));
     return true;

@@ -112,6 +112,17 @@ class CacheHierarchy
                    MemoryController *mem, StatSet *stats = nullptr);
 
     /**
+     * Multi-channel constructor: misses and writebacks route to the
+     * controller owning the line's channel (per the controllers'
+     * shared ChannelInterleave).  All controllers must share one
+     * clock; a single-element vector behaves exactly like the
+     * single-controller constructor.
+     */
+    CacheHierarchy(const CacheHierConfig &config, std::uint32_t num_cores,
+                   std::vector<MemoryController *> mems,
+                   StatSet *stats = nullptr);
+
+    /**
      * Issue a load.  On a cache hit @p done fires synchronously with
      * the hit latency; on a miss it fires when DRAM data returns.
      * Returns false (and does nothing) when MSHRs or the controller
@@ -154,8 +165,11 @@ class CacheHierarchy
     void writeback(Addr line);
     bool missToDram(std::uint32_t core, Addr line, Waiter waiter);
 
+    /** Controller owning @p line's channel. */
+    MemoryController &memFor(Addr line);
+
     CacheHierConfig config_;
-    MemoryController *mem_;
+    std::vector<MemoryController *> mems_;
     StatSet *stats_;
 
     std::vector<TagArray> l1_;  //!< per core

@@ -45,11 +45,27 @@ System::System(const SystemConfig &config,
                std::vector<std::unique_ptr<WorkloadSource>> sources)
     : config_(config), sources_(std::move(sources))
 {
-    mem_ = std::make_unique<MemoryController>(config_.spec, config_.mem,
-                                              &stats_);
+    if (config_.channels == 0 ||
+        (config_.channels & (config_.channels - 1)) != 0)
+        fatal("System: channels must be a non-zero power of two");
+
+    ControllerConfig mem_config = config_.mem;
+    mem_config.interleave.channels = config_.channels;
+    mem_config.interleave.granularityBytes =
+        config_.channelInterleaveBytes;
+    mem_config.interleave.xorFold = config_.xorFoldChannelBits;
+
+    mems_.reserve(config_.channels);
+    std::vector<MemoryController *> mem_ptrs;
+    for (std::uint32_t c = 0; c < config_.channels; ++c) {
+        mems_.push_back(std::make_unique<MemoryController>(
+            config_.spec, mem_config, &stats_));
+        mem_ptrs.push_back(mems_.back().get());
+    }
+
     caches_ = std::make_unique<CacheHierarchy>(
         config_.caches, static_cast<std::uint32_t>(sources_.size()),
-        mem_.get(), &stats_);
+        std::move(mem_ptrs), &stats_);
 
     cores_.reserve(sources_.size());
     for (std::uint32_t i = 0; i < sources_.size(); ++i)
@@ -60,10 +76,52 @@ System::System(const SystemConfig &config,
 void
 System::stepAll()
 {
-    const Cycle now = mem_->now();
+    // The skip runs at the *start* of the step so the run loops
+    // always observe the same post-tick clock values (phase
+    // boundaries, finish times) with fast-forward on or off.
+    if (config_.fastForward) {
+        maybeFastForward();
+        if (now() >= config_.maxCycles)
+            return; // the safety stop fires before the next tick
+    }
+    const Cycle current = now();
     for (auto &core : cores_)
-        core.tick(now);
-    mem_->tick();
+        core.tick(current);
+    for (auto &mem : mems_)
+        mem->tick();
+}
+
+void
+System::maybeFastForward()
+{
+    // Based on the previous cycle's post-tick state: if every core is
+    // stalled past the current cycle and every controller's next
+    // event is later, the cycles in between are provably dead: jump
+    // straight to the earliest event.  Wake-ups are conservative
+    // (never later than the true next event), so simulated behaviour
+    // -- and therefore every reported statistic -- is unchanged.
+    const Cycle current = now();
+    Cycle wake = kNeverCycle;
+    for (const auto &core : cores_) {
+        const Cycle at = core.nextEventAt();
+        if (at <= current)
+            return;
+        wake = std::min(wake, at);
+    }
+    for (const auto &mem : mems_) {
+        const Cycle at = mem->nextWorkAt();
+        if (at <= current)
+            return;
+        wake = std::min(wake, at);
+    }
+    // Never jump past the safety stop: the run loops compare now()
+    // against maxCycles every iteration.
+    wake = std::min(wake, config_.maxCycles);
+    if (wake <= current)
+        return;
+    for (auto &mem : mems_)
+        mem->skipTo(wake);
+    ffSkipped_ += wake - current;
 }
 
 RunResult
@@ -83,34 +141,39 @@ System::run()
                                       config_.warmupInstrs;
                            });
     };
-    while (!all_warm() && mem_->now() < config_.maxCycles)
+    while (!all_warm() && now() < config_.maxCycles)
         stepAll();
 
     // Phase 2: measurement.
-    const Cycle measure_start = mem_->now();
+    const Cycle measure_start = now();
+    const Cycle ff_skipped_at_measure_start = ffSkipped_;
     std::vector<std::uint64_t> start_instrs(n);
     for (std::size_t i = 0; i < n; ++i)
         start_instrs[i] = cores_[i].instrsRetired();
 
-    const DramDevice &dev = mem_->dram();
-    EnergyCounts start_counts;
-    start_counts.acts = dev.issueCount(CmdType::ACT);
-    start_counts.reads = dev.issueCount(CmdType::RD);
-    start_counts.writes = dev.issueCount(CmdType::WR);
-    start_counts.refreshes = dev.issueCount(CmdType::REFab);
-    start_counts.mitigatedRows = mem_->prac().mitigatedRows();
+    const std::size_t nch = mems_.size();
+    std::vector<EnergyCounts> start_counts(nch);
+    for (std::size_t c = 0; c < nch; ++c) {
+        const DramDevice &dev = mems_[c]->dram();
+        start_counts[c].acts = dev.issueCount(CmdType::ACT);
+        start_counts[c].reads = dev.issueCount(CmdType::RD);
+        start_counts[c].writes = dev.issueCount(CmdType::WR);
+        start_counts[c].refreshes = dev.issueCount(CmdType::REFab);
+        start_counts[c].mitigatedRows =
+            mems_[c]->prac().mitigatedRows();
+    }
     const std::uint64_t start_row_misses = stats_.get("mem.row_misses");
 
     std::vector<Cycle> finish_at(n, 0);
     std::size_t finished = 0;
-    while (finished < n && mem_->now() < config_.maxCycles) {
+    while (finished < n && now() < config_.maxCycles) {
         stepAll();
         for (std::size_t i = 0; i < n; ++i) {
             if (finish_at[i] != 0)
                 continue;
             if (cores_[i].instrsRetired() - start_instrs[i] >=
                 config_.measureInstrs) {
-                finish_at[i] = mem_->now();
+                finish_at[i] = now();
                 ++finished;
             }
         }
@@ -118,7 +181,7 @@ System::run()
     if (finished < n)
         warn("System::run hit maxCycles before all cores finished");
 
-    const Cycle end = mem_->now();
+    const Cycle end = now();
 
     RunResult result;
     result.cores.resize(n);
@@ -134,26 +197,45 @@ System::run()
     }
     result.measureCycles = end - measure_start;
 
-    EnergyCounts delta;
-    delta.acts = dev.issueCount(CmdType::ACT) - start_counts.acts;
-    delta.reads = dev.issueCount(CmdType::RD) - start_counts.reads;
-    delta.writes = dev.issueCount(CmdType::WR) - start_counts.writes;
-    delta.refreshes =
-        dev.issueCount(CmdType::REFab) - start_counts.refreshes;
-    delta.mitigatedRows =
-        mem_->prac().mitigatedRows() - start_counts.mitigatedRows;
-    delta.elapsed = result.measureCycles;
-    result.energyCounts = delta;
-    result.energy = computeEnergy(delta);
+    result.channels.resize(nch);
+    for (std::size_t c = 0; c < nch; ++c) {
+        const MemoryController &mem = *mems_[c];
+        const DramDevice &dev = mem.dram();
+        ChannelResult &ch = result.channels[c];
 
-    result.aboRfms = mem_->rfmCount(RfmReason::Abo);
-    result.acbRfms = mem_->rfmCount(RfmReason::Acb);
-    result.tbRfms = mem_->rfmCount(RfmReason::TimingBased);
-    result.tbRfmsSkipped =
-        mem_->tbScheduler() ? mem_->tbScheduler()->skipped() : 0;
-    result.alerts = mem_->prac().alerts();
+        EnergyCounts delta;
+        delta.acts = dev.issueCount(CmdType::ACT) - start_counts[c].acts;
+        delta.reads = dev.issueCount(CmdType::RD) - start_counts[c].reads;
+        delta.writes =
+            dev.issueCount(CmdType::WR) - start_counts[c].writes;
+        delta.refreshes =
+            dev.issueCount(CmdType::REFab) - start_counts[c].refreshes;
+        delta.mitigatedRows =
+            mem.prac().mitigatedRows() - start_counts[c].mitigatedRows;
+        delta.elapsed = result.measureCycles;
+        ch.energyCounts = delta;
+        ch.energy = computeEnergy(delta);
+
+        ch.aboRfms = mem.rfmCount(RfmReason::Abo);
+        ch.acbRfms = mem.rfmCount(RfmReason::Acb);
+        ch.tbRfms = mem.rfmCount(RfmReason::TimingBased);
+        ch.tbRfmsSkipped =
+            mem.tbScheduler() ? mem.tbScheduler()->skipped() : 0;
+        ch.alerts = mem.prac().alerts();
+        ch.maxCounterSeen = mem.prac().counters().maxEverSeen();
+
+        result.energyCounts += ch.energyCounts;
+        result.energy += ch.energy;
+        result.aboRfms += ch.aboRfms;
+        result.acbRfms += ch.acbRfms;
+        result.tbRfms += ch.tbRfms;
+        result.tbRfmsSkipped += ch.tbRfmsSkipped;
+        result.alerts += ch.alerts;
+        result.maxCounterSeen =
+            std::max(result.maxCounterSeen, ch.maxCounterSeen);
+    }
     result.rowMisses = stats_.get("mem.row_misses") - start_row_misses;
-    result.maxCounterSeen = mem_->prac().counters().maxEverSeen();
+    result.ffCyclesSkipped = ffSkipped_ - ff_skipped_at_measure_start;
     return result;
 }
 

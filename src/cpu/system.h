@@ -1,13 +1,22 @@
 /**
  * @file
  * Multi-core system harness: N trace cores -> shared cache hierarchy
- * -> one DDR5 channel with a selectable RowHammer mitigation.
+ * -> one or more interleaved DDR5 channels with a selectable
+ * RowHammer mitigation.
  *
  * Follows the paper's methodology: every core first retires a warm-up
  * instruction budget, then IPC is measured per core over a fixed
  * instruction count; cores that finish early keep executing so memory
  * contention stays representative.  Performance is reported as
  * weighted speedup against a baseline run of the same workloads.
+ *
+ * Channels tick in lockstep on one clock and are striped by the
+ * ChannelInterleave (see mem/address_mapper.h); channels == 1
+ * reproduces the classic single-channel system bit-identically.
+ * When every core is stalled on memory and no controller has work
+ * due before cycle X, the harness jumps the clock to X instead of
+ * ticking through dead cycles (idle-cycle fast-forward); this is a
+ * pure wall-clock optimization and never changes simulated results.
  */
 
 #ifndef PRACLEAK_CPU_SYSTEM_H
@@ -37,6 +46,22 @@ struct SystemConfig
     std::uint64_t warmupInstrs = 50'000;
     std::uint64_t measureInstrs = 500'000;
     Cycle maxCycles = 2'000'000'000; //!< hard safety stop
+
+    /**
+     * Memory channels (power of two).  Each channel is a full
+     * spec.org DRAM configuration with its own controller and PRAC
+     * engine; addresses stripe per channelInterleaveBytes.
+     */
+    std::uint32_t channels = 1;
+
+    /** Contiguous bytes per channel before switching (power of 2). */
+    std::uint32_t channelInterleaveBytes = 256;
+
+    /** XOR-fold high address bits into the channel selector. */
+    bool xorFoldChannelBits = true;
+
+    /** Idle-cycle fast-forward (wall-clock only; results identical). */
+    bool fastForward = true;
 };
 
 /** Per-core outcome of a run. */
@@ -48,12 +73,25 @@ struct CoreResult
     double ipc = 0.0;
 };
 
+/** Per-channel outcome of a run (measure window). */
+struct ChannelResult
+{
+    EnergyBreakdown energy;
+    EnergyCounts energyCounts;
+    std::uint64_t aboRfms = 0;
+    std::uint64_t acbRfms = 0;
+    std::uint64_t tbRfms = 0;
+    std::uint64_t tbRfmsSkipped = 0;
+    std::uint64_t alerts = 0;
+    std::uint32_t maxCounterSeen = 0;
+};
+
 /** Whole-run outcome. */
 struct RunResult
 {
     std::vector<CoreResult> cores;
     Cycle measureCycles = 0;
-    EnergyBreakdown energy;         //!< measure window only
+    EnergyBreakdown energy;         //!< all channels, measure window
     EnergyCounts energyCounts;      //!< raw events, measure window
 
     std::uint64_t aboRfms = 0;
@@ -63,6 +101,16 @@ struct RunResult
     std::uint64_t alerts = 0;
     std::uint64_t rowMisses = 0;    //!< measure window
     std::uint32_t maxCounterSeen = 0;
+
+    /** Per-channel breakdown (aggregates above are their sums). */
+    std::vector<ChannelResult> channels;
+
+    /**
+     * Dead cycles fast-forward skipped inside the measure window.
+     * Skipped cycles still advance the clock, so this is a subset
+     * of measureCycles, not an addition to it.
+     */
+    Cycle ffCyclesSkipped = 0;
 
     /** Sum of per-core IPCs. */
     double ipcSum() const;
@@ -87,18 +135,25 @@ class System
     /** Run warm-up then measurement; may only be called once. */
     RunResult run();
 
-    MemoryController &mem() { return *mem_; }
+    /** Channel-0 controller (single-channel convenience). */
+    MemoryController &mem() { return *mems_[0]; }
+
+    MemoryController &channel(std::size_t i) { return *mems_[i]; }
+    std::size_t channelCount() const { return mems_.size(); }
     StatSet &stats() { return stats_; }
 
   private:
     void stepAll();
+    void maybeFastForward();
+    Cycle now() const { return mems_[0]->now(); }
 
     SystemConfig config_;
     StatSet stats_;
-    std::unique_ptr<MemoryController> mem_;
+    std::vector<std::unique_ptr<MemoryController>> mems_;
     std::unique_ptr<CacheHierarchy> caches_;
     std::vector<std::unique_ptr<WorkloadSource>> sources_;
     std::vector<TraceCore> cores_;
+    Cycle ffSkipped_ = 0;
     bool ran_ = false;
 };
 

@@ -18,6 +18,11 @@ TraceCore::onLoadDone(Cycle issue_cycle, Cycle latency, bool dependent)
     // issue + latency (never before "now").
     const Cycle ready = std::max(issue_cycle + latency, now_);
     completions_.push_back(Completion{ready, dependent});
+
+    // DRAM misses land *after* this core's tick (the controller
+    // ticks last), so a stalled core's published wake-up time must
+    // absorb the new completion or fast-forward would skip past it.
+    nextEventAt_ = std::min(nextEventAt_, ready);
 }
 
 void
@@ -36,14 +41,28 @@ TraceCore::drainCompletions(Cycle now)
     }
 }
 
+Cycle
+TraceCore::earliestCompletion() const
+{
+    Cycle next = kNeverCycle;
+    for (const Completion &completion : completions_)
+        next = std::min(next, completion.readyAt);
+    return next;
+}
+
 void
 TraceCore::tick(Cycle now)
 {
     now_ = now;
+    nextEventAt_ = now + 1; // default: more work next cycle
     drainCompletions(now);
 
-    if (dependentOutstanding_ > 0)
-        return; // serialized on a pointer-chase load
+    if (dependentOutstanding_ > 0) {
+        // Serialized on a pointer-chase load; nothing can happen
+        // until a completion drains.
+        nextEventAt_ = earliestCompletion();
+        return;
+    }
 
     std::uint32_t budget = params_.retireWidth;
     while (budget > 0) {
@@ -67,15 +86,21 @@ TraceCore::tick(Cycle now)
         // One memory instruction; costs one retire slot.
         if (pending_.isWrite) {
             if (!hier_->tryStore(id_, pending_.addr))
-                return; // retry next cycle
+                return; // resource-blocked; retry next cycle
             havePendingMem_ = false;
             ++instrs_;
             --budget;
             continue;
         }
 
-        if (outstanding_ >= params_.mlp)
-            return; // out of MLP; wait for a completion
+        if (outstanding_ >= params_.mlp) {
+            // Out of MLP: only a completion unblocks us.  DRAM-miss
+            // completions surface via the controller, not
+            // completions_, so kNeverCycle here defers the wake-up
+            // to the controller's own event horizon.
+            nextEventAt_ = earliestCompletion();
+            return;
+        }
 
         const Cycle issue_cycle = now;
         const bool dependent = pending_.dependent;
@@ -93,8 +118,11 @@ TraceCore::tick(Cycle now)
         havePendingMem_ = false;
         ++instrs_;
         --budget;
-        if (dependent)
-            return; // nothing issues past a dependent load
+        if (dependent) {
+            // Nothing issues past a dependent load.
+            nextEventAt_ = earliestCompletion();
+            return;
+        }
     }
 }
 

@@ -65,6 +65,18 @@ class TraceCore
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle at which this core could make progress,
+     * valid after tick().  now+1 when the core still has retirable
+     * work (or must retry a resource-blocked access); the earliest
+     * in-core load completion when it is stalled on memory; and
+     * kNeverCycle when the wake-up event lives in the memory system
+     * (an outstanding DRAM miss).  Cycles strictly before the
+     * returned value are provably no-ops for this core -- the
+     * idle-cycle fast-forward contract.
+     */
+    Cycle nextEventAt() const { return nextEventAt_; }
+
     std::uint64_t instrsRetired() const { return instrs_; }
     std::uint32_t id() const { return id_; }
     const std::string &workloadName() const { return source_->name(); }
@@ -72,6 +84,7 @@ class TraceCore
   private:
     void onLoadDone(Cycle issue_cycle, Cycle latency, bool dependent);
     void drainCompletions(Cycle now);
+    Cycle earliestCompletion() const;
 
     std::uint32_t id_;
     WorkloadSource *source_;
@@ -79,6 +92,7 @@ class TraceCore
     CoreParams params_;
 
     Cycle now_ = 0;
+    Cycle nextEventAt_ = 0;
     std::uint64_t instrs_ = 0;
     std::uint32_t backlog_ = 0;     //!< non-mem instrs left in op
     bool havePendingMem_ = false;

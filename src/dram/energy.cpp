@@ -1,6 +1,32 @@
 #include "dram/energy.h"
 
+#include <algorithm>
+
 namespace pracleak {
+
+EnergyCounts &
+EnergyCounts::operator+=(const EnergyCounts &other)
+{
+    acts += other.acts;
+    reads += other.reads;
+    writes += other.writes;
+    refreshes += other.refreshes;
+    mitigatedRows += other.mitigatedRows;
+    elapsed = std::max(elapsed, other.elapsed);
+    return *this;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    actPreNj += other.actPreNj;
+    readNj += other.readNj;
+    writeNj += other.writeNj;
+    refreshNj += other.refreshNj;
+    mitigationNj += other.mitigationNj;
+    backgroundNj += other.backgroundNj;
+    return *this;
+}
 
 EnergyBreakdown
 computeEnergy(const EnergyCounts &counts, const EnergyParams &params)

@@ -40,6 +40,13 @@ struct EnergyCounts
     std::uint64_t refreshes = 0;
     std::uint64_t mitigatedRows = 0;
     Cycle elapsed = 0;
+
+    /**
+     * Aggregate another channel's counts.  elapsed is wall time, not
+     * work: channels tick in lockstep, so it takes the max (identity
+     * for the single-channel case).
+     */
+    EnergyCounts &operator+=(const EnergyCounts &other);
 };
 
 /** Decomposed energy for one simulation run. */
@@ -58,6 +65,9 @@ struct EnergyBreakdown
         return actPreNj + readNj + writeNj + refreshNj + mitigationNj +
                backgroundNj;
     }
+
+    /** Aggregate another channel's breakdown (component-wise sum). */
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
 };
 
 /** Score a set of raw event counts. */

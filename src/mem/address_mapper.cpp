@@ -18,21 +18,65 @@ log2Exact(std::uint32_t value, const char *what)
 
 } // namespace
 
-AddressMapper::AddressMapper(const DramOrg &org, MappingScheme scheme)
-    : org_(org), scheme_(scheme),
+AddressMapper::AddressMapper(const DramOrg &org, MappingScheme scheme,
+                             const ChannelInterleave &interleave)
+    : org_(org), scheme_(scheme), interleave_(interleave),
       bgBits_(log2Exact(org.bankGroups, "bankGroups")),
       bankBits_(log2Exact(org.banksPerGroup, "banksPerGroup")),
       rankBits_(log2Exact(org.ranks, "ranks")),
       colBits_(log2Exact(org.colsPerRow, "colsPerRow")),
-      rowBits_(log2Exact(org.rowsPerBank, "rowsPerBank"))
+      rowBits_(log2Exact(org.rowsPerBank, "rowsPerBank")),
+      channelBits_(log2Exact(interleave.channels, "channels")),
+      granularityShift_(
+          log2Exact(interleave.granularityBytes, "granularityBytes"))
 {
+    if (interleave_.granularityBytes < kLineBytes)
+        fatal("channel-interleave granularity below one cache line");
+}
+
+std::uint32_t
+AddressMapper::fold(std::uint64_t value) const
+{
+    std::uint32_t folded = 0;
+    const std::uint64_t mask = (1ULL << channelBits_) - 1;
+    while (value != 0) {
+        folded ^= static_cast<std::uint32_t>(value & mask);
+        value >>= channelBits_;
+    }
+    return folded;
+}
+
+std::uint32_t
+AddressMapper::channelOf(Addr physical) const
+{
+    if (channelBits_ == 0)
+        return 0;
+    const std::uint64_t block = physical >> granularityShift_;
+    const auto selector = static_cast<std::uint32_t>(
+        block & ((1ULL << channelBits_) - 1));
+    if (!interleave_.xorFold)
+        return selector;
+    return selector ^ fold(block >> channelBits_);
+}
+
+Addr
+AddressMapper::stripChannel(Addr physical) const
+{
+    if (channelBits_ == 0)
+        return physical;
+    const Addr low = physical & ((Addr{1} << granularityShift_) - 1);
+    const Addr block_hi =
+        physical >> (granularityShift_ + channelBits_);
+    return (block_hi << granularityShift_) | low;
 }
 
 DramAddress
 AddressMapper::map(Addr physical) const
 {
-    std::uint64_t line = physical >> kLineShift;
+    const std::uint32_t channel = channelOf(physical);
+    std::uint64_t line = stripChannel(physical) >> kLineShift;
     DramAddress out;
+    out.channel = channel;
 
     auto take = [&line](std::uint32_t bits) {
         const std::uint64_t value = line & ((1ULL << bits) - 1);
@@ -83,7 +127,21 @@ AddressMapper::compose(const DramAddress &daddr) const
         put(daddr.rank, rankBits_);
         put(daddr.row, rowBits_);
     }
-    return line << kLineShift;
+
+    const Addr local = line << kLineShift;
+    if (channelBits_ == 0)
+        return local;
+
+    // Re-insert the channel-selector bits at the interleave boundary,
+    // undoing the XOR fold so channelOf(result) == daddr.channel.
+    const Addr low = local & ((Addr{1} << granularityShift_) - 1);
+    const Addr block_hi = local >> granularityShift_;
+    std::uint32_t selector = daddr.channel;
+    if (interleave_.xorFold)
+        selector ^= fold(block_hi);
+    return (((block_hi << channelBits_) | selector)
+            << granularityShift_) |
+           low;
 }
 
 std::uint32_t

@@ -11,6 +11,13 @@
  *
  * RowInterleaved keeps each row's 128 lines physically contiguous
  * (classic open-page mapping) and is provided as an ablation.
+ *
+ * Multi-channel: a ChannelInterleave selects one of N channels per
+ * interleave block.  The selector bits are removed from the address
+ * before the per-channel coordinate mapping, and (optionally) XOR-
+ * folded with the higher address bits so pathological strides cannot
+ * camp on one channel.  With channels == 1 every operation here is
+ * bit-identical to the single-channel mapper.
  */
 
 #ifndef PRACLEAK_MEM_ADDRESS_MAPPER_H
@@ -32,11 +39,18 @@ struct DramAddress
     std::uint32_t row = 0;
     std::uint32_t col = 0;      //!< cache-line column within the row
 
+    /**
+     * Owning memory channel.  Declared last so the widely used
+     * {rank, bg, bank, row, col} aggregate initializers keep their
+     * single-channel meaning (channel 0).
+     */
+    std::uint32_t channel = 0;
+
     bool
     sameBank(const DramAddress &other) const
     {
-        return rank == other.rank && bankGroup == other.bankGroup &&
-               bank == other.bank;
+        return channel == other.channel && rank == other.rank &&
+               bankGroup == other.bankGroup && bank == other.bank;
     }
 
     bool
@@ -53,12 +67,33 @@ enum class MappingScheme : std::uint8_t
     RowInterleaved, //!< whole row contiguous in physical space
 };
 
+/** How physical addresses stripe across memory channels. */
+struct ChannelInterleave
+{
+    /** Number of channels; must be a power of two. */
+    std::uint32_t channels = 1;
+
+    /**
+     * Contiguous bytes per channel before switching (power of two,
+     * >= one cache line).  256 B = one MOP block per channel hop.
+     */
+    std::uint32_t granularityBytes = 256;
+
+    /**
+     * XOR-fold the address bits above the selector into the channel
+     * choice.  Keeps the mapping bijective while decorrelating the
+     * channel from simple power-of-two strides.
+     */
+    bool xorFold = true;
+};
+
 /** Bidirectional physical <-> DRAM address translation. */
 class AddressMapper
 {
   public:
     AddressMapper(const DramOrg &org,
-                  MappingScheme scheme = MappingScheme::Mop4);
+                  MappingScheme scheme = MappingScheme::Mop4,
+                  const ChannelInterleave &interleave = {});
 
     /** Translate a (byte) physical address; low 6 bits are ignored. */
     DramAddress map(Addr physical) const;
@@ -66,21 +101,38 @@ class AddressMapper
     /** Inverse translation: DRAM coordinates to a physical address. */
     Addr compose(const DramAddress &daddr) const;
 
+    /** Channel that @p physical routes to (0 when single-channel). */
+    std::uint32_t channelOf(Addr physical) const;
+
+    /**
+     * Channel-local address: @p physical with the channel-selector
+     * bits removed.  Identity when single-channel.
+     */
+    Addr stripChannel(Addr physical) const;
+
     /** Channel-wide flat bank index for @p daddr. */
     std::uint32_t flatBank(const DramAddress &daddr) const;
 
     MappingScheme scheme() const { return scheme_; }
     const DramOrg &org() const { return org_; }
+    const ChannelInterleave &interleave() const { return interleave_; }
+    std::uint32_t channels() const { return interleave_.channels; }
 
   private:
+    /** XOR-fold @p value into channelBits_ bits. */
+    std::uint32_t fold(std::uint64_t value) const;
+
     DramOrg org_;
     MappingScheme scheme_;
+    ChannelInterleave interleave_;
 
     std::uint32_t bgBits_;
     std::uint32_t bankBits_;
     std::uint32_t rankBits_;
     std::uint32_t colBits_;
     std::uint32_t rowBits_;
+    std::uint32_t channelBits_;
+    std::uint32_t granularityShift_;
     static constexpr std::uint32_t kMopBlockBits = 2; //!< 4-line blocks
 };
 

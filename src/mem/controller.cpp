@@ -23,7 +23,7 @@ MemoryController::MemoryController(const DramSpec &spec,
                                    const ControllerConfig &config,
                                    StatSet *stats)
     : spec_(spec), config_(config), stats_(stats), dram_(spec),
-      mapper_(spec.org, config.mapping)
+      mapper_(spec.org, config.mapping, config.interleave)
 {
     PracEngineConfig prac_config = config.prac;
     if (config.mode == MitigationMode::NoMitigation)
@@ -448,6 +448,34 @@ MemoryController::run(Cycle cycles)
     const Cycle end = now_ + cycles;
     while (now_ < end)
         tick();
+}
+
+Cycle
+MemoryController::nextWorkAt() const
+{
+    if (!queue_.empty() || maint_.active || prac_->alertAsserted())
+        return now_;
+    if (acb_ && acb_->rfmNeeded())
+        return now_;
+
+    Cycle next = kNeverCycle;
+    for (const InFlight &flight : inFlight_)
+        next = std::min(next, flight.doneAt);
+    if (config_.refreshEnabled)
+        for (const Cycle due : nextRefreshAt_)
+            next = std::min(next, due);
+    if (tbRfm_ && tbRfm_->enabled())
+        next = std::min(next, tbRfm_->nextDeadline());
+    next = std::min(next, nextObfuscationDrawAt_);
+    next = std::min(next, prac_->nextCounterResetAt());
+    return std::max(next, now_);
+}
+
+void
+MemoryController::skipTo(Cycle target)
+{
+    if (target > now_)
+        now_ = target;
 }
 
 } // namespace pracleak

@@ -61,6 +61,15 @@ const char *mitigationModeName(MitigationMode mode);
 struct ControllerConfig
 {
     MappingScheme mapping = MappingScheme::Mop4;
+
+    /**
+     * System-level channel striping.  Each controller owns one
+     * channel; the mapper strips the selector bits so per-channel
+     * coordinates are dense.  channels == 1 is the classic
+     * single-channel configuration, bit-identical to the pre-
+     * multi-channel code.
+     */
+    ChannelInterleave interleave{};
     std::size_t queueCapacity = 64;     //!< outstanding requests
     std::uint32_t frfcfsCap = 4;        //!< row-hit streak cap
     bool refreshEnabled = true;
@@ -102,6 +111,24 @@ class MemoryController
 
     /** Advance @p cycles cycles. */
     void run(Cycle cycles);
+
+    /**
+     * Earliest cycle >= now() at which tick() could have any effect.
+     * Returns now() whenever the controller is busy (queued demand,
+     * active maintenance, an asserted Alert, pending ACB debt);
+     * otherwise the nearest scheduled event: an in-flight completion,
+     * a refresh deadline, the TB-RFM deadline, an obfuscation draw,
+     * or the tREFW counter reset.  Cycles strictly before the
+     * returned value are provably dead and may be skipped.
+     */
+    Cycle nextWorkAt() const;
+
+    /**
+     * Jump the clock forward to @p target without ticking.  The
+     * caller must guarantee nextWorkAt() >= target (idle-cycle
+     * fast-forward); targets at or before now() are ignored.
+     */
+    void skipTo(Cycle target);
 
     Cycle now() const { return now_; }
     std::size_t queueDepth() const { return queue_.size(); }

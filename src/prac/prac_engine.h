@@ -75,6 +75,14 @@ class PracEngine : public DramListener
     /** Apply the tREFW counter-reset policy if the window elapsed. */
     void maybePeriodicReset(Cycle now);
 
+    /** Next scheduled tREFW reset (kNeverCycle when disabled). */
+    Cycle
+    nextCounterResetAt() const
+    {
+        return config_.counterResetAtTrefw ? nextCounterResetAt_
+                                           : kNeverCycle;
+    }
+
     // Telemetry ---------------------------------------------------------
 
     const RowCounters &counters() const { return counters_; }

@@ -17,6 +17,11 @@ makeSystemConfig(const DesignConfig &design, const RunBudget &budget)
     config.spec = DramSpec::ddr5_8000b();
     config.spec.prac.nbo = design.nbo;
     config.spec.prac.nmit = design.nmit;
+    if (design.ranks != 0)
+        config.spec.org.ranks = design.ranks;
+    config.channels = design.channels;
+    config.channelInterleaveBytes = design.channelInterleaveBytes;
+    config.fastForward = design.fastForward;
     config.warmupInstrs = budget.warmup;
     config.measureInstrs = budget.measure;
 
@@ -53,10 +58,11 @@ runOne(const SuiteEntry &entry, const DesignConfig &design,
 namespace {
 
 /** Every knob a NoMitigation baseline run can observe. */
-using BaselineKey = std::tuple<std::string, std::uint32_t,
-                               std::uint32_t, std::uint32_t, bool,
-                               std::uint64_t, std::uint64_t,
-                               std::uint32_t>;
+using BaselineKey =
+    std::tuple<std::string, std::uint32_t, std::uint32_t,
+               std::uint32_t, bool, std::uint64_t, std::uint64_t,
+               std::uint32_t, std::uint32_t, std::uint32_t,
+               std::uint32_t>;
 
 // shared_future per key: the first thread to claim a key computes
 // it, concurrent claimants wait instead of re-simulating.
@@ -67,9 +73,17 @@ BaselineKey
 baselineKey(const SuiteEntry &entry, const DesignConfig &design,
             const RunBudget &budget, std::uint32_t cores)
 {
-    return BaselineKey{entry.params.name, design.nbo,   design.nmit,
-                       design.trefPeriodRefs, design.counterReset,
-                       budget.warmup,    budget.measure, cores};
+    return BaselineKey{entry.params.name,
+                       design.nbo,
+                       design.nmit,
+                       design.trefPeriodRefs,
+                       design.counterReset,
+                       budget.warmup,
+                       budget.measure,
+                       cores,
+                       design.channels,
+                       design.ranks,
+                       design.channelInterleaveBytes};
 }
 
 } // namespace

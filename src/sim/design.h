@@ -38,6 +38,18 @@ struct DesignConfig
 
     /** Random-RFM injection rate (Obfuscation mode); <0 = default. */
     double randomRfmPerTrefi = -1.0;
+
+    /** Interleaved memory channels (power of two). */
+    std::uint32_t channels = 1;
+
+    /** Ranks per channel; 0 keeps the spec default (4). */
+    std::uint32_t ranks = 0;
+
+    /** Channel-interleave granularity in bytes (power of two). */
+    std::uint32_t channelInterleaveBytes = 256;
+
+    /** Idle-cycle fast-forward (wall-clock only; results identical). */
+    bool fastForward = true;
 };
 
 /** Instruction budgets for bench runs (scaled-down from the paper). */

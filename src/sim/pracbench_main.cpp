@@ -42,6 +42,11 @@ printUsage()
         "unknown axes error)\n"
         "  --try-set AXIS=V1[,..] like --set, but skipped when the "
         "scenario has no such axis\n"
+        "  --smoke                one-point sweep with a tiny budget: "
+        "truncate every\n"
+        "                         axis to its first value and shrink "
+        "instruction/\n"
+        "                         window knobs (CI smoke tests)\n"
         "  --quiet                suppress per-point progress lines\n"
         "  --no-table             skip the text tables on stdout\n"
         "  --help                 this message\n");
@@ -100,6 +105,7 @@ main(int argc, char **argv)
     std::string outCsv;
     bool list = false;
     bool table = true;
+    bool smoke = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -135,6 +141,8 @@ main(int argc, char **argv)
                                           : options.softOverrides;
             target[spec.substr(0, eq)] =
                 parseValueList(spec.substr(eq + 1));
+        } else if (arg == "--smoke") {
+            smoke = true;
         } else if (arg == "--quiet" || arg == "-q") {
             options.progress = false;
         } else if (arg == "--no-table") {
@@ -148,6 +156,30 @@ main(int argc, char **argv)
             printUsage();
             return 2;
         }
+    }
+
+    if (smoke) {
+        options.firstPointOnly = true;
+        // Tiny budgets for every knob a scenario might sweep.
+        // Applied after the whole command line is parsed so an
+        // explicit --set/--try-set for the same axis always wins,
+        // wherever it appears relative to --smoke.
+        const std::pair<const char *, JsonValue> tiny[] = {
+            {"warmup", std::int64_t{2'000}},
+            {"measure", std::int64_t{5'000}},
+            {"window_ms", 0.2},
+            {"encryptions", std::int64_t{60}},
+            {"repeats", std::int64_t{1}},
+            {"bits", std::int64_t{4}},
+            {"symbols", std::int64_t{2}},
+            {"message_bits", std::int64_t{4}},
+        };
+        for (const auto &[axis, value] : tiny)
+            if (options.overrides.find(axis) ==
+                    options.overrides.end() &&
+                options.softOverrides.find(axis) ==
+                    options.softOverrides.end())
+                options.softOverrides[axis] = {value};
     }
 
     const ScenarioRegistry &registry = ScenarioRegistry::instance();

@@ -133,6 +133,10 @@ runScenario(const Scenario &scenario, const SweepOptions &options)
     for (const auto &[axis, values] : options.softOverrides)
         if (grid.findAxis(axis))
             grid.overrideAxis(axis, values);
+    if (options.firstPointOnly)
+        for (const ParamAxis &axis : scenario.grid.axes())
+            if (const ParamAxis *effective = grid.findAxis(axis.name))
+                grid.overrideAxis(axis.name, {effective->values[0]});
 
     ThreadPool pool(options.jobs);
     const std::size_t n = grid.size();

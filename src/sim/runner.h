@@ -35,6 +35,13 @@ struct SweepOptions
 
     /** Print one line per completed point. */
     bool progress = true;
+
+    /**
+     * Truncate every axis to its first value after overrides (the
+     * `--smoke` CLI flag): a one-point sweep that exercises the
+     * scenario end-to-end as cheaply as possible.
+     */
+    bool firstPointOnly = false;
 };
 
 /** Everything a sweep produced. */

@@ -56,6 +56,7 @@ void registerAnalysisScenarios(ScenarioRegistry &registry);
 void registerPerfScenarios(ScenarioRegistry &registry);
 void registerCovertScenarios(ScenarioRegistry &registry);
 void registerAblationScenarios(ScenarioRegistry &registry);
+void registerMultichannelScenarios(ScenarioRegistry &registry);
 
 void
 registerBuiltinScenarios()
@@ -68,6 +69,7 @@ registerBuiltinScenarios()
         registerPerfScenarios(registry);
         registerCovertScenarios(registry);
         registerAblationScenarios(registry);
+        registerMultichannelScenarios(registry);
     });
 }
 

@@ -27,7 +27,14 @@ namespace pracleak {
 /** Static configuration of the TB-RFM mechanism. */
 struct TbRfmConfig
 {
-    /** Period between TB-RFMs in cycles; 0 disables the mechanism. */
+    /**
+     * Period between TB-RFMs in cycles; 0 disables the mechanism.
+     * Multi-channel systems run one scheduler per channel with the
+     * same deadlines: firing in lockstep overlaps the per-channel
+     * stalls, which measures strictly better than staggering them
+     * (interleaved cores stall on *any* blocked channel, so N
+     * staggered stalls per window cost more than one joint stall).
+     */
     Cycle windowCycles = 0;
 
     /** Allow TREF rounds to substitute for scheduled TB-RFMs. */

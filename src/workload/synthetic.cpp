@@ -40,4 +40,18 @@ makeWorkload(const WorkloadParams &params, std::uint32_t core_id)
     return std::make_unique<SyntheticWorkload>(p, base);
 }
 
+WorkloadParams
+pointerChaseParams(std::uint64_t footprint_lines)
+{
+    WorkloadParams params;
+    params.name = "ptrchase";
+    params.footprintLines = footprint_lines;
+    params.nonMemPerMem = 9.0;
+    params.seqProb = 0.0;
+    params.writeFraction = 0.0;
+    params.dependentProb = 1.0;
+    params.seed = 7;
+    return params;
+}
+
 } // namespace pracleak

@@ -146,5 +146,31 @@ TEST_P(CovertSweep, BitrateFallsWithNbo)
 INSTANTIATE_TEST_SUITE_P(NboValues, CovertSweep,
                          ::testing::Values(256u, 512u, 1024u));
 
+TEST(CovertParallel, ConcurrentPairsStayIsolatedAndErrorFree)
+{
+    CovertParams params;
+    params.nbo = 256;
+    const std::vector<std::vector<bool>> messages = {
+        randomBits(8, 21), randomBits(8, 22)};
+    const auto results = runActivityCovertParallel(params, messages);
+
+    ASSERT_EQ(results.size(), 2u);
+    for (std::size_t c = 0; c < results.size(); ++c) {
+        EXPECT_EQ(results[c].symbolErrors, 0u) << "channel " << c;
+        EXPECT_EQ(results[c].symbolsSent, messages[c].size());
+        // Decoded bits are the channel's own message, not a mix of
+        // both senders (cross-channel isolation).
+        for (std::size_t i = 0; i < messages[c].size(); ++i)
+            EXPECT_EQ(results[c].decoded[i],
+                      messages[c][i] ? 1u : 0u)
+                << "channel " << c << " bit " << i;
+    }
+}
+
+// (No standalone-vs-parallel N=1 equivalence test here on purpose:
+// runActivityCovert *is* the N=1 parallel path, so such a test would
+// compare the code against itself.  The pre-refactor single-channel
+// numbers are pinned by Golden.Table2CovertChannelsSmallGrid.)
+
 } // namespace
 } // namespace pracleak

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Idle-cycle fast-forward correctness: with fast-forward on vs off,
+ * every reported statistic -- IPC, cycles, alerts, RFMs, energy
+ * counts -- must be identical.  Fast-forward is purely a wall-clock
+ * optimization; any divergence here is a bug in the next-event
+ * bookkeeping (TraceCore::nextEventAt / MemoryController::nextWorkAt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/system.h"
+#include "sim/design.h"
+#include "workload/suite.h"
+#include "workload/synthetic.h"
+
+namespace pracleak {
+namespace {
+
+void
+expectIdentical(const RunResult &off, const RunResult &on)
+{
+    EXPECT_EQ(off.measureCycles, on.measureCycles);
+    EXPECT_EQ(off.aboRfms, on.aboRfms);
+    EXPECT_EQ(off.acbRfms, on.acbRfms);
+    EXPECT_EQ(off.tbRfms, on.tbRfms);
+    EXPECT_EQ(off.tbRfmsSkipped, on.tbRfmsSkipped);
+    EXPECT_EQ(off.alerts, on.alerts);
+    EXPECT_EQ(off.rowMisses, on.rowMisses);
+    EXPECT_EQ(off.maxCounterSeen, on.maxCounterSeen);
+    EXPECT_EQ(off.energyCounts.acts, on.energyCounts.acts);
+    EXPECT_EQ(off.energyCounts.reads, on.energyCounts.reads);
+    EXPECT_EQ(off.energyCounts.writes, on.energyCounts.writes);
+    EXPECT_EQ(off.energyCounts.refreshes, on.energyCounts.refreshes);
+    EXPECT_EQ(off.energyCounts.mitigatedRows,
+              on.energyCounts.mitigatedRows);
+    EXPECT_DOUBLE_EQ(off.energy.totalNj(), on.energy.totalNj());
+    ASSERT_EQ(off.cores.size(), on.cores.size());
+    for (std::size_t i = 0; i < off.cores.size(); ++i) {
+        EXPECT_EQ(off.cores[i].instrs, on.cores[i].instrs);
+        EXPECT_EQ(off.cores[i].cycles, on.cores[i].cycles);
+        EXPECT_DOUBLE_EQ(off.cores[i].ipc, on.cores[i].ipc);
+    }
+    ASSERT_EQ(off.channels.size(), on.channels.size());
+    for (std::size_t c = 0; c < off.channels.size(); ++c) {
+        EXPECT_EQ(off.channels[c].energyCounts.acts,
+                  on.channels[c].energyCounts.acts);
+        EXPECT_EQ(off.channels[c].tbRfms, on.channels[c].tbRfms);
+        EXPECT_EQ(off.channels[c].alerts, on.channels[c].alerts);
+    }
+}
+
+RunResult
+runSuiteEntry(const char *entry, MitigationMode mode,
+              bool fast_forward, std::uint32_t channels = 1)
+{
+    sim::DesignConfig design;
+    design.label = "ff-test";
+    design.mode = mode;
+    design.fastForward = fast_forward;
+    design.channels = channels;
+    sim::RunBudget budget;
+    budget.warmup = 10'000;
+    budget.measure = 80'000;
+    return sim::runOne(sim::findSuiteEntry(entry), design, budget, 4);
+}
+
+TEST(FastForward, MixedWorkloadIdenticalWithTprac)
+{
+    // The heterogeneous cloud mix exercises refreshes, TB-RFMs, and
+    // four different stall patterns at once.
+    const RunResult off =
+        runSuiteEntry("cloud_mix", MitigationMode::Tprac, false);
+    const RunResult on =
+        runSuiteEntry("cloud_mix", MitigationMode::Tprac, true);
+    expectIdentical(off, on);
+}
+
+TEST(FastForward, PointerChaseIdenticalAndActuallySkips)
+{
+    const RunResult off =
+        runSuiteEntry("h_chase", MitigationMode::Tprac, false);
+    const RunResult on =
+        runSuiteEntry("h_chase", MitigationMode::Tprac, true);
+    expectIdentical(off, on);
+    EXPECT_EQ(off.ffCyclesSkipped, 0u);
+    EXPECT_GT(on.ffCyclesSkipped, 0u)
+        << "a dependent chase must trigger idle-cycle skips";
+}
+
+TEST(FastForward, MultiChannelIdentical)
+{
+    const RunResult off =
+        runSuiteEntry("h_chase", MitigationMode::Tprac, false, 2);
+    const RunResult on =
+        runSuiteEntry("h_chase", MitigationMode::Tprac, true, 2);
+    expectIdentical(off, on);
+}
+
+TEST(FastForward, CacheResidentChaseSkipsDeepAndStaysExact)
+{
+    // An LLC-resident pointer chase is the fast-forward sweet spot:
+    // long all-core stalls with no DRAM work due.  The majority of
+    // cycles must be skipped and every statistic must still match.
+    const WorkloadParams params = pointerChaseParams(4096);
+
+    RunResult results[2];
+    for (int ff = 0; ff < 2; ++ff) {
+        sim::DesignConfig design;
+        design.label = "chase";
+        design.mode = MitigationMode::Tprac;
+        design.fastForward = ff == 1;
+        sim::RunBudget budget;
+        budget.warmup = 60'000;
+        budget.measure = 200'000;
+        std::vector<std::unique_ptr<WorkloadSource>> sources;
+        sources.push_back(makeWorkload(params, 0));
+        System system(sim::makeSystemConfig(design, budget),
+                      std::move(sources));
+        results[ff] = system.run();
+    }
+    expectIdentical(results[0], results[1]);
+    EXPECT_GT(results[1].ffCyclesSkipped,
+              results[1].measureCycles / 4)
+        << "expected deep skips on a serialized cache-hit chase";
+}
+
+TEST(FastForward, ObfuscationModeIdentical)
+{
+    // Random-RFM injection draws once per tREFI from a controller-
+    // owned RNG: the draw schedule must survive fast-forward.
+    const RunResult off =
+        runSuiteEntry("m_blend", MitigationMode::Obfuscation, false);
+    const RunResult on =
+        runSuiteEntry("m_blend", MitigationMode::Obfuscation, true);
+    expectIdentical(off, on);
+}
+
+} // namespace
+} // namespace pracleak

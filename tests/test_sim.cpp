@@ -187,16 +187,21 @@ TEST(ScenarioRegistry, BuiltinsCoverEveryFigureAndTable)
     registerBuiltinScenarios();
     registerBuiltinScenarios(); // idempotent
     const ScenarioRegistry &registry = ScenarioRegistry::instance();
-    EXPECT_GE(registry.size(), 16u);
-    for (const char *name :
-         {"fig03_timing_variation", "fig04_side_channel_trace",
-          "fig05_key_sweep", "fig07_tmax_analysis",
-          "fig09_defense_validation", "fig10_performance",
-          "fig11_prac_levels", "fig12_tref_sensitivity",
-          "fig13_nrh_sweep", "fig14_counter_reset",
-          "table2_covert_channels", "table4_rbmpki", "table5_energy",
-          "ablation_obfuscation", "ablation_queues",
-          "ablation_rfmpb"})
+    // EXACT name set: registering a new scenario must update this
+    // list AND the PRACLEAK_SMOKE_SCENARIOS list in CMakeLists.txt
+    // (so every scenario keeps `ctest -L smoke` coverage).
+    const char *names[] = {
+        "fig03_timing_variation", "fig04_side_channel_trace",
+        "fig05_key_sweep", "fig07_tmax_analysis",
+        "fig09_defense_validation", "fig10_performance",
+        "fig11_prac_levels", "fig12_tref_sensitivity",
+        "fig13_nrh_sweep", "fig14_counter_reset",
+        "table2_covert_channels", "table4_rbmpki", "table5_energy",
+        "ablation_obfuscation", "ablation_queues", "ablation_rfmpb",
+        "perf_channel_sweep", "sidechannel_cross_channel",
+        "covert_channel_parallel", "fastforward_benchmark"};
+    EXPECT_EQ(registry.size(), std::size(names));
+    for (const char *name : names)
         EXPECT_NE(registry.find(name), nullptr) << name;
     EXPECT_EQ(registry.find("nope"), nullptr);
 }
