@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Defense bake-off driver: runs the leakage and security matrices
+ * over every registered mitigation (src/sim/scenarios_defense.cpp)
+ * and microbenchmarks the per-activation hot paths of the
+ * counter-based defenses.  The performance matrix is heavier; run it
+ * through `pracbench --scenario defense_matrix_perf`.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mitigation/graphene.h"
+#include "mitigation/pb_rfm.h"
+#include "sim/runner.h"
+
+using namespace pracleak;
+
+namespace {
+
+void
+BM_GrapheneOnActivate(benchmark::State &state)
+{
+    GrapheneConfig config;
+    config.tableSize = static_cast<std::uint32_t>(state.range(0));
+    config.threshold = 256;
+    GrapheneMitigation graphene(config, /*num_banks=*/32,
+                                /*trefw=*/1ULL << 40, nullptr);
+    std::uint32_t row = 0;
+    for (auto _ : state) {
+        // Worst case: misses on a full table (min-scan + eviction).
+        graphene.onActivate(row & 31, row * 2654435761u, row);
+        ++row;
+    }
+    benchmark::DoNotOptimize(graphene.eventsTriggered());
+}
+
+BENCHMARK(BM_GrapheneOnActivate)->Arg(128)->Arg(1024)->Arg(4096);
+
+void
+BM_PbRfmOnActivate(benchmark::State &state)
+{
+    PbRfmConfig config;
+    config.raaimt = 32;
+    PbRfmMitigation pb(config, /*num_banks=*/1024, nullptr);
+    std::uint32_t act = 0;
+    for (auto _ : state) {
+        pb.onActivate(act & 1023, act, act);
+        if (pb.maintenanceCommands(act).wanted)
+            pb.onRfmIssued(RfmReason::PerBank, true, act);
+        ++act;
+    }
+    benchmark::DoNotOptimize(pb.eventsTriggered());
+}
+
+BENCHMARK(BM_PbRfmOnActivate);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::runAndPrint("defense_matrix_leakage");
+    sim::runAndPrint("defense_matrix_security");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

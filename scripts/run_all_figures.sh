@@ -26,7 +26,10 @@ fi
 
 mkdir -p "${OUT_DIR}"
 
-mapfile -t SCENARIOS < <("${PRACBENCH}" --list | awk 'NR > 1 {print $1}')
+# --list prints one header line, then per scenario a summary line
+# plus an indented one-line description; keep the summary lines only.
+mapfile -t SCENARIOS < <("${PRACBENCH}" --list |
+    awk 'NR > 1 && $0 !~ /^ / {print $1}')
 echo "running ${#SCENARIOS[@]} scenarios -> ${OUT_DIR}/"
 
 for scenario in "${SCENARIOS[@]}"; do

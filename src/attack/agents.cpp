@@ -144,4 +144,51 @@ HammerAgent::tick(MemoryController &mem, Cycle)
     }
 }
 
+// --------------------------------------------------------- FeintingAgent
+
+FeintingAgent::FeintingAgent(MemoryController &mem,
+                             std::uint32_t pool_size,
+                             std::uint32_t target_row)
+    : mem_(mem), targetRow_(target_row)
+{
+    for (std::uint32_t i = 0; i < pool_size; ++i)
+        pool_.push_back(target_row + 1 + i);
+    pool_.push_back(target_row);
+}
+
+std::uint32_t
+FeintingAgent::nextRow()
+{
+    if (cursor_ >= pool_.size()) {
+        // End of a wave: drop decoys whose counters were mitigated
+        // back to zero -- their activations are now pure overhead.
+        cursor_ = 0;
+        std::vector<std::uint32_t> alive;
+        for (const std::uint32_t row : pool_)
+            if (row == targetRow_ ||
+                mem_.prac().counters().get(0, row) > 0)
+                alive.push_back(row);
+        pool_ = std::move(alive);
+    }
+    if (pool_.size() <= 1)
+        return targetRow_;
+    return pool_[cursor_++];
+}
+
+void
+FeintingAgent::tick(MemoryController &mem, Cycle)
+{
+    while (outstanding_ < 2) {
+        Request req;
+        req.addr = mem.mapper().compose(
+            DramAddress{0, 0, 0, nextRow(), 0});
+        req.onComplete = [this](const Request &) {
+            --outstanding_;
+        };
+        if (!mem.enqueue(std::move(req)))
+            return;
+        ++outstanding_;
+    }
+}
+
 } // namespace pracleak

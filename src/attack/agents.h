@@ -71,6 +71,38 @@ class ProbeAgent : public MemAgent
     Cycle lastSpikeAt_ = 0;
 };
 
+/**
+ * Memory-level Feinting/Wave attacker (paper Section 4.2): cycles a
+ * pool of decoy rows plus one target row in a single bank, pruning
+ * decoys whose counters were mitigated back to zero, so mitigation
+ * bandwidth is wasted on decoys while the target creeps toward NBO.
+ * This is the worst-case stressor the TB-Window analysis is sized
+ * against; the defense bake-off runs it against every registered
+ * mitigation.
+ */
+class FeintingAgent : public MemAgent
+{
+  public:
+    /**
+     * @param mem        Controller whose PRAC counters steer pruning.
+     * @param pool_size  Initial decoy-row count.
+     * @param target_row Row being driven toward NBO (same bank 0).
+     */
+    FeintingAgent(MemoryController &mem, std::uint32_t pool_size,
+                  std::uint32_t target_row);
+
+    void tick(MemoryController &mem, Cycle now) override;
+
+  private:
+    std::uint32_t nextRow();
+
+    MemoryController &mem_;
+    std::uint32_t targetRow_;
+    std::vector<std::uint32_t> pool_;
+    std::size_t cursor_ = 0;
+    std::uint32_t outstanding_ = 0;
+};
+
 /** Trojan-side activation engine. */
 class HammerAgent : public MemAgent
 {

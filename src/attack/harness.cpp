@@ -13,9 +13,11 @@ AttackHarness::AttackHarness(const DramSpec &spec,
     ControllerConfig per_channel = config;
     per_channel.interleave.channels = channels;
     mems_.reserve(channels);
-    for (std::uint32_t c = 0; c < channels; ++c)
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        per_channel.channelIndex = c;
         mems_.push_back(std::make_unique<MemoryController>(
             spec, per_channel, &stats_));
+    }
 }
 
 void

@@ -72,4 +72,21 @@ Rng::chance(double p)
     return uniform() < p;
 }
 
+std::uint64_t
+deriveRngStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two SplitMix64 steps over a golden-ratio combination of the
+    // inputs; consecutive stream ids land in unrelated states.
+    auto mix = [](std::uint64_t &state) {
+        state += 0x9E3779B97F4A7C15ULL;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    };
+    std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    mix(state);
+    return mix(state);
+}
+
 } // namespace pracleak

@@ -47,6 +47,20 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Derive the seed of an independent counter-based substream.
+ *
+ * Stochastic components that run side by side -- one PARA instance
+ * per channel, one workload generator per scenario point -- must not
+ * share a raw seed: seeding every consumer with
+ * deriveRngStream(seed, stream) (stream = channel index, grid-point
+ * ordinal, defense ordinal, ...) gives each a decorrelated sequence
+ * that is a pure function of (seed, stream), so sweeps are
+ * bit-reproducible at any `--jobs N`.  Stream 0 is NOT the identity;
+ * never mix derived and raw seeding of the same generator.
+ */
+std::uint64_t deriveRngStream(std::uint64_t seed, std::uint64_t stream);
+
 } // namespace pracleak
 
 #endif // PRACLEAK_COMMON_RNG_H

@@ -58,6 +58,7 @@ System::System(const SystemConfig &config,
     mems_.reserve(config_.channels);
     std::vector<MemoryController *> mem_ptrs;
     for (std::uint32_t c = 0; c < config_.channels; ++c) {
+        mem_config.channelIndex = c;
         mems_.push_back(std::make_unique<MemoryController>(
             config_.spec, mem_config, &stats_));
         mem_ptrs.push_back(mems_.back().get());
@@ -221,6 +222,9 @@ System::run()
         ch.tbRfms = mem.rfmCount(RfmReason::TimingBased);
         ch.tbRfmsSkipped =
             mem.tbScheduler() ? mem.tbScheduler()->skipped() : 0;
+        ch.grapheneRfms = mem.rfmCount(RfmReason::Graphene);
+        ch.pbRfms = mem.rfmCount(RfmReason::PerBank);
+        ch.mitigationEvents = mem.mitigationEvents();
         ch.alerts = mem.prac().alerts();
         ch.maxCounterSeen = mem.prac().counters().maxEverSeen();
 
@@ -230,6 +234,9 @@ System::run()
         result.acbRfms += ch.acbRfms;
         result.tbRfms += ch.tbRfms;
         result.tbRfmsSkipped += ch.tbRfmsSkipped;
+        result.grapheneRfms += ch.grapheneRfms;
+        result.pbRfms += ch.pbRfms;
+        result.mitigationEvents += ch.mitigationEvents;
         result.alerts += ch.alerts;
         result.maxCounterSeen =
             std::max(result.maxCounterSeen, ch.maxCounterSeen);

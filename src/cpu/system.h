@@ -82,6 +82,9 @@ struct ChannelResult
     std::uint64_t acbRfms = 0;
     std::uint64_t tbRfms = 0;
     std::uint64_t tbRfmsSkipped = 0;
+    std::uint64_t grapheneRfms = 0;     //!< "graphene" defense RFMpbs
+    std::uint64_t pbRfms = 0;           //!< "pb-rfm" defense RFMpbs
+    std::uint64_t mitigationEvents = 0; //!< Mitigation::eventsTriggered
     std::uint64_t alerts = 0;
     std::uint32_t maxCounterSeen = 0;
 };
@@ -98,6 +101,9 @@ struct RunResult
     std::uint64_t acbRfms = 0;
     std::uint64_t tbRfms = 0;
     std::uint64_t tbRfmsSkipped = 0;
+    std::uint64_t grapheneRfms = 0;     //!< "graphene" defense RFMpbs
+    std::uint64_t pbRfms = 0;           //!< "pb-rfm" defense RFMpbs
+    std::uint64_t mitigationEvents = 0; //!< defense-specific events
     std::uint64_t alerts = 0;
     std::uint64_t rowMisses = 0;    //!< measure window
     std::uint32_t maxCounterSeen = 0;

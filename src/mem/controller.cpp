@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "mitigation/registry.h"
 
 namespace pracleak {
 
@@ -25,35 +26,24 @@ MemoryController::MemoryController(const DramSpec &spec,
     : spec_(spec), config_(config), stats_(stats), dram_(spec),
       mapper_(spec.org, config.mapping, config.interleave)
 {
+    const std::string defense = resolveMitigationName(config_);
+    const MitigationInfo *info = findMitigation(defense);
+    if (!info)
+        fatal("unknown mitigation '" + defense + "'");
+
     PracEngineConfig prac_config = config.prac;
-    if (config.mode == MitigationMode::NoMitigation)
+    if (!info->usesAbo)
         prac_config.aboEnabled = false;
 
     prac_ = std::make_unique<PracEngine>(spec, prac_config, stats);
     dram_.addListener(prac_.get());
 
-    if (config.mode == MitigationMode::AboAcb) {
-        if (config.bat == 0)
-            fatal("AboAcb mode requires a non-zero BAT");
-        acb_ = std::make_unique<AcbTracker>(spec.org.totalBanks(),
-                                            config.bat);
-    }
-    if (config.mode == MitigationMode::Tprac) {
-        if (config.tbRfm.windowCycles == 0)
-            fatal("Tprac mode requires a non-zero TB-Window");
-        TbRfmConfig tb = config.tbRfm;
-        if (tb.perBank) {
-            // Rotate through every bank within one window so each
-            // bank still gets one mitigation per windowCycles.
-            tb.windowCycles = std::max<Cycle>(
-                1, tb.windowCycles / spec.org.totalBanks());
-        }
-        tbRfm_ = std::make_unique<TbRfmScheduler>(tb, prac_.get());
-    }
-    if (config.mode == MitigationMode::Obfuscation) {
-        obfuscationRng_ = Rng(config.obfuscationSeed);
-        nextObfuscationDrawAt_ = spec.timing.tREFI;
-    }
+    MitigationContext ctx;
+    ctx.spec = &spec_;
+    ctx.config = &config_;
+    ctx.prac = prac_.get();
+    ctx.stats = stats_;
+    mitigation_ = makeMitigation(defense, ctx);
 
     nextRefreshAt_.resize(spec.org.ranks);
     for (std::uint32_t r = 0; r < spec.org.ranks; ++r) {
@@ -99,6 +89,10 @@ MemoryController::startAboServiceIfNeeded()
 
     maint_.active = true;
     maint_.isRfm = true;
+    // Alert service is always Nmit channel-wide RFMabs: clear any
+    // per-bank targeting left over from a prior RFMpb, or the drain
+    // would service the Alert with one RFMpb to a stale bank.
+    maint_.perBank = false;
     maint_.reason = RfmReason::Abo;
     maint_.rfmsRemaining = spec_.prac.nmit;
 }
@@ -106,38 +100,16 @@ MemoryController::startAboServiceIfNeeded()
 void
 MemoryController::startProactiveRfmIfNeeded()
 {
-    if (tbRfm_ && tbRfm_->due(now_)) {
-        if (!tbRfm_->trySkipWithTref(now_)) {
-            maint_.active = true;
-            maint_.isRfm = true;
-            maint_.perBank = config_.tbRfm.perBank;
-            maint_.reason = RfmReason::TimingBased;
-            maint_.rfmsRemaining = 1;
-            if (maint_.perBank) {
-                maint_.flatBank =
-                    rfmPbRotation_ % spec_.org.totalBanks();
-                ++rfmPbRotation_;
-            }
-        }
+    const MaintenanceRequest req =
+        mitigation_->maintenanceCommands(now_);
+    if (!req.wanted)
         return;
-    }
-    if (acb_ && acb_->rfmNeeded()) {
-        maint_.active = true;
-        maint_.isRfm = true;
-        maint_.reason = RfmReason::Acb;
-        maint_.rfmsRemaining = 1;
-        return;
-    }
-    if (config_.mode == MitigationMode::Obfuscation &&
-        now_ >= nextObfuscationDrawAt_) {
-        nextObfuscationDrawAt_ += spec_.timing.tREFI;
-        if (obfuscationRng_.chance(config_.randomRfmPerTrefi)) {
-            maint_.active = true;
-            maint_.isRfm = true;
-            maint_.reason = RfmReason::Random;
-            maint_.rfmsRemaining = 1;
-        }
-    }
+    maint_.active = true;
+    maint_.isRfm = true;
+    maint_.perBank = req.perBank;
+    maint_.reason = req.reason;
+    maint_.flatBank = req.flatBank;
+    maint_.rfmsRemaining = req.rfms;
 }
 
 void
@@ -172,6 +144,36 @@ MemoryController::issueIfReady(const Command &cmd)
     return true;
 }
 
+void
+MemoryController::countRfm(RfmReason reason, bool per_bank)
+{
+    ++rfmCounts_[static_cast<std::size_t>(reason)];
+    if (stats_) {
+        switch (reason) {
+          case RfmReason::Abo:
+            ++stats_->counter("mem.abo_rfms");
+            break;
+          case RfmReason::Acb:
+            ++stats_->counter("mem.acb_rfms");
+            break;
+          case RfmReason::TimingBased:
+            ++stats_->counter(per_bank ? "mem.tb_rfms_pb"
+                                       : "mem.tb_rfms");
+            break;
+          case RfmReason::Random:
+            ++stats_->counter("mem.random_rfms");
+            break;
+          case RfmReason::Graphene:
+            ++stats_->counter("mem.graphene_rfms");
+            break;
+          case RfmReason::PerBank:
+            ++stats_->counter("mem.pb_rfms");
+            break;
+        }
+    }
+    mitigation_->onRfmIssued(reason, per_bank, now_);
+}
+
 bool
 MemoryController::tickMaintenance()
 {
@@ -193,11 +195,7 @@ MemoryController::tickMaintenance()
         Command rfm{CmdType::RFMpb, rank, bg, bank, 0, 0};
         if (!issueIfReady(rfm))
             return false;
-        ++rfmCounts_[static_cast<std::size_t>(RfmReason::TimingBased)];
-        if (stats_)
-            ++stats_->counter("mem.tb_rfms_pb");
-        if (tbRfm_)
-            tbRfm_->onRfmIssued(now_);
+        countRfm(maint_.reason, /*per_bank=*/true);
         maint_.active = false;
         return true;
     }
@@ -222,27 +220,7 @@ MemoryController::tickMaintenance()
         if (!issueIfReady(rfm))
             return false;
 
-        ++rfmCounts_[static_cast<std::size_t>(maint_.reason)];
-        if (stats_) {
-            switch (maint_.reason) {
-              case RfmReason::Abo:
-                ++stats_->counter("mem.abo_rfms");
-                break;
-              case RfmReason::Acb:
-                ++stats_->counter("mem.acb_rfms");
-                break;
-              case RfmReason::TimingBased:
-                ++stats_->counter("mem.tb_rfms");
-                break;
-              case RfmReason::Random:
-                ++stats_->counter("mem.random_rfms");
-                break;
-            }
-        }
-        if (maint_.reason == RfmReason::TimingBased && tbRfm_)
-            tbRfm_->onRfmIssued(now_);
-        if (acb_)
-            acb_->onRfmIssued();
+        countRfm(maint_.reason, /*per_bank=*/false);
 
         if (--maint_.rfmsRemaining == 0)
             maint_.active = false;
@@ -270,6 +248,7 @@ MemoryController::tickMaintenance()
     maint_.active = false;
     if (stats_)
         ++stats_->counter("mem.refreshes");
+    mitigation_->onRefresh(maint_.rank, now_);
     return true;
 }
 
@@ -385,8 +364,7 @@ MemoryController::tickDemand()
                         da.row, 0};
             if (issueIfReady(act)) {
                 hitStreak_[flat] = 0;
-                if (acb_)
-                    acb_->onActivate(flat);
+                mitigation_->onActivate(flat, da.row, now_);
                 if (stats_)
                     ++stats_->counter("mem.row_misses");
                 return true;
@@ -455,8 +433,6 @@ MemoryController::nextWorkAt() const
 {
     if (!queue_.empty() || maint_.active || prac_->alertAsserted())
         return now_;
-    if (acb_ && acb_->rfmNeeded())
-        return now_;
 
     Cycle next = kNeverCycle;
     for (const InFlight &flight : inFlight_)
@@ -464,9 +440,7 @@ MemoryController::nextWorkAt() const
     if (config_.refreshEnabled)
         for (const Cycle due : nextRefreshAt_)
             next = std::min(next, due);
-    if (tbRfm_ && tbRfm_->enabled())
-        next = std::min(next, tbRfm_->nextDeadline());
-    next = std::min(next, nextObfuscationDrawAt_);
+    next = std::min(next, mitigation_->nextMaintenanceAt(now_));
     next = std::min(next, prac_->nextCounterResetAt());
     return std::max(next, now_);
 }

@@ -1,17 +1,29 @@
 /**
  * @file
  * DDR5 memory controller with FR-FCFS scheduling, open-page policy,
- * auto-refresh, and pluggable RowHammer mitigation modes:
+ * auto-refresh, and a pluggable RowHammer defense (see
+ * src/mitigation/): the controller owns the command engine -- Alert
+ * service, maintenance drains, refresh -- and delegates every
+ * defense-specific decision (when to issue a proactive RFM, which
+ * bank, at what deadline) to a Mitigation instance resolved from the
+ * string-keyed registry.
  *
- *  - NoMitigation : PRAC timings, no ABO, no RFMs (the paper's
- *    normalization baseline).
- *  - AboOnly      : DRAM asserts Alert at NBO; controller services it
- *    with Nmit RFMab commands (insecure: ABO-RFMs leak).
- *  - AboAcb       : AboOnly plus proactive Activation-Based RFMs at
- *    the Bank Activation Threshold (insecure: ACB-RFMs leak).
- *  - Tprac        : Timing-Based RFMs at a fixed TB-Window, ABO kept
- *    armed only as a safety net (never fires when the window is
- *    configured from the Feinting analysis).
+ * The legacy MitigationMode enum remains the convenient configuration
+ * surface for the paper's modes and maps 1:1 onto registry keys:
+ *
+ *  - NoMitigation ("none") : PRAC timings, no ABO, no RFMs (the
+ *    paper's normalization baseline).
+ *  - AboOnly ("abo-only")  : DRAM asserts Alert at NBO; controller
+ *    services it with Nmit RFMab commands (insecure: ABO-RFMs leak).
+ *  - AboAcb ("abo+acb-rfm"): AboOnly plus proactive Activation-Based
+ *    RFMs at the Bank Activation Threshold (insecure: ACB-RFMs leak).
+ *  - Tprac ("tprac")       : Timing-Based RFMs at a fixed TB-Window,
+ *    ABO kept armed only as a safety net.
+ *  - Obfuscation           : ABO plus random RFMab injection
+ *    (Section 7.1 ablation).
+ *
+ * New-generation defenses (PARA, Graphene, PB-RFM) have no enum
+ * value; select them via ControllerConfig::mitigation.
  *
  * The controller issues at most one command per cycle, with priority
  * maintenance-over-demand: an in-flight RFM sequence first, then due
@@ -21,9 +33,11 @@
 #ifndef PRACLEAK_MEM_CONTROLLER_H
 #define PRACLEAK_MEM_CONTROLLER_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,13 +46,14 @@
 #include "dram/dram.h"
 #include "mem/address_mapper.h"
 #include "mem/request.h"
-#include "prac/acb_tracker.h"
+#include "mitigation/configs.h"
+#include "mitigation/mitigation.h"
 #include "prac/prac_engine.h"
 #include "tprac/tb_rfm.h"
 
 namespace pracleak {
 
-/** Top-level mitigation strategy. */
+/** Legacy top-level mitigation strategy selector. */
 enum class MitigationMode : std::uint8_t
 {
     NoMitigation,
@@ -75,22 +90,31 @@ struct ControllerConfig
     bool refreshEnabled = true;
 
     MitigationMode mode = MitigationMode::NoMitigation;
+
+    /**
+     * String-keyed defense selection (mitigation/registry.h).  When
+     * non-empty it takes precedence over `mode`; the legacy enum maps
+     * onto the keys "none", "abo-only", "abo+acb-rfm", "tprac", and
+     * "obfuscation".
+     */
+    std::string mitigation;
+
+    /**
+     * Index of this controller's channel within the system; selects
+     * the per-channel RNG stream of stochastic defenses (PARA).
+     */
+    std::uint32_t channelIndex = 0;
+
     PracEngineConfig prac{};
     std::uint32_t bat = 0;              //!< ACB threshold (AboAcb mode)
     TbRfmConfig tbRfm{};                //!< TPRAC window (Tprac mode)
+    ParaConfig para{};                  //!< "para" defense
+    GrapheneConfig graphene{};          //!< "graphene" defense
+    PbRfmConfig pbRfm{};                //!< "pb-rfm" defense
 
     /** Obfuscation mode: P(inject one RFM) per tREFI. */
     double randomRfmPerTrefi = 0.5;
     std::uint64_t obfuscationSeed = 0xDEC0'D5ULL;
-};
-
-/** Why an RFMab is being issued (for stats and experiments). */
-enum class RfmReason : std::uint8_t
-{
-    Abo,
-    Acb,
-    TimingBased,
-    Random,
 };
 
 /** One-channel memory controller. */
@@ -115,11 +139,12 @@ class MemoryController
     /**
      * Earliest cycle >= now() at which tick() could have any effect.
      * Returns now() whenever the controller is busy (queued demand,
-     * active maintenance, an asserted Alert, pending ACB debt);
-     * otherwise the nearest scheduled event: an in-flight completion,
-     * a refresh deadline, the TB-RFM deadline, an obfuscation draw,
-     * or the tREFW counter reset.  Cycles strictly before the
-     * returned value are provably dead and may be skipped.
+     * active maintenance, an asserted Alert, maintenance debt held by
+     * the defense); otherwise the nearest scheduled event: an
+     * in-flight completion, a refresh deadline, the defense's next
+     * maintenance deadline, or the tREFW counter reset.  Cycles
+     * strictly before the returned value are provably dead and may be
+     * skipped.
      */
     Cycle nextWorkAt() const;
 
@@ -139,9 +164,23 @@ class MemoryController
     const PracEngine &prac() const { return *prac_; }
     const AddressMapper &mapper() const { return mapper_; }
     const ControllerConfig &config() const { return config_; }
-    const TbRfmScheduler *tbScheduler() const { return tbRfm_.get(); }
 
-    /** RFMab count by reason. */
+    /** The active defense (never null). */
+    const Mitigation &mitigation() const { return *mitigation_; }
+
+    /** Defense-specific mitigation events (telemetry shortcut). */
+    std::uint64_t mitigationEvents() const
+    {
+        return mitigation_->eventsTriggered();
+    }
+
+    /** TB-RFM scheduler when the defense owns one, else nullptr. */
+    const TbRfmScheduler *tbScheduler() const
+    {
+        return mitigation_->tbScheduler();
+    }
+
+    /** RFM count by reason. */
     std::uint64_t rfmCount(RfmReason reason) const
     {
         return rfmCounts_[static_cast<std::size_t>(reason)];
@@ -173,6 +212,7 @@ class MemoryController
     bool tickDemand();
     bool issueIfReady(const Command &cmd);
     void finishRequest(Entry &entry, Cycle done_at);
+    void countRfm(RfmReason reason, bool per_bank);
 
     DramSpec spec_;
     ControllerConfig config_;
@@ -181,8 +221,7 @@ class MemoryController
     DramDevice dram_;
     AddressMapper mapper_;
     std::unique_ptr<PracEngine> prac_;
-    std::unique_ptr<AcbTracker> acb_;
-    std::unique_ptr<TbRfmScheduler> tbRfm_;
+    std::unique_ptr<Mitigation> mitigation_;
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
@@ -199,10 +238,7 @@ class MemoryController
     std::vector<Cycle> nextRefreshAt_;
     Maintenance maint_;
     std::vector<std::uint32_t> hitStreak_;
-    std::array<std::uint64_t, 4> rfmCounts_{};
-    Rng obfuscationRng_{0};
-    Cycle nextObfuscationDrawAt_ = kNeverCycle;
-    std::uint32_t rfmPbRotation_ = 0;
+    std::array<std::uint64_t, kRfmReasonCount> rfmCounts_{};
 };
 
 } // namespace pracleak

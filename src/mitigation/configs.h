@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-defense configuration structs, kept separate from the defense
+ * classes so ControllerConfig (mem/controller.h) can embed them
+ * without pulling every concrete defense implementation into the
+ * core controller header -- the controller stays defense-agnostic;
+ * only mitigation/registry.cpp knows the concrete types.
+ */
+
+#ifndef PRACLEAK_MITIGATION_CONFIGS_H
+#define PRACLEAK_MITIGATION_CONFIGS_H
+
+#include <cstdint>
+
+namespace pracleak {
+
+/** PARA ("para"): probabilistic in-DRAM neighbour refresh. */
+struct ParaConfig
+{
+    /**
+     * Probability of refreshing the neighbours on each ACT.  0 means
+     * "derive from NBO" via the registry helper (configureDefense):
+     * p = 64/NBO keeps the per-row escape probability below e^-64
+     * between counter resets.
+     */
+    double refreshProb = 0.0;
+
+    /** Base seed; the channel index selects the stream. */
+    std::uint64_t seed = 0x9A4A'5EEDULL;
+};
+
+/** Graphene ("graphene"): per-bank Space-Saving counter table. */
+struct GrapheneConfig
+{
+    /**
+     * Counter-table entries per bank.  0 means "derive" when
+     * configured through configureDefense: one entry per threshold
+     * activations of the per-tREFW budget, the size at which the
+     * Space-Saving error bound keeps false triggers rare.
+     */
+    std::uint32_t tableSize = 0;
+
+    /**
+     * Estimated activation count that triggers a mitigation.  0 means
+     * "derive from NBO" when configured through configureDefense
+     * (NBO/4, floor 16).
+     */
+    std::uint32_t threshold = 0;
+};
+
+/** PB-RFM ("pb-rfm"): DDR5 RAAIMT-style per-bank RFM scheduling. */
+struct PbRfmConfig
+{
+    /**
+     * RAA Initial Management Threshold: bank activations per owed
+     * RFMpb.  0 means "derive from NBO" when configured through
+     * configureDefense (the per-bank Feinting-safe cadence, floor 16).
+     */
+    std::uint32_t raaimt = 0;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_MITIGATION_CONFIGS_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Pluggable RowHammer-defense framework.
+ *
+ * A Mitigation is the controller-side brain of one defense: it
+ * observes activations and refreshes, asks the controller for
+ * maintenance commands (RFMab / RFMpb) when its policy requires one,
+ * and advertises its next deadline so idle-cycle fast-forward stays
+ * exact for every defense.  The DRAM-side substrate (per-row PRAC
+ * counters, the Alert pin, victim selection on RFM) lives in
+ * PracEngine; defenses that are not PRAC-based simply run with the
+ * Alert protocol disarmed.
+ *
+ * Defenses are created by string key through the registry
+ * (mitigation/registry.h), which is what `pracbench --set
+ * mitigation=...` sweeps over.  See src/mitigation/DESIGN.md for the
+ * hook contract and a walkthrough of adding a new defense.
+ */
+
+#ifndef PRACLEAK_MITIGATION_MITIGATION_H
+#define PRACLEAK_MITIGATION_MITIGATION_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pracleak {
+
+class PracEngine;
+class TbRfmScheduler;
+struct ControllerConfig;
+struct DramSpec;
+
+/** Why an RFM is being issued (for stats and experiments). */
+enum class RfmReason : std::uint8_t
+{
+    Abo,            //!< servicing a DRAM Alert (ABO protocol)
+    Acb,            //!< proactive host-side ACB-RFM at the BAT
+    TimingBased,    //!< TPRAC TB-RFM (activity-independent)
+    Random,         //!< obfuscation: Bernoulli draw per tREFI
+    Graphene,       //!< Misra-Gries table crossed its threshold
+    PerBank,        //!< PB-RFM: per-bank RAA counter hit RAAIMT
+};
+
+constexpr std::size_t kRfmReasonCount = 6;
+
+/**
+ * One maintenance command requested by a defense.  The controller
+ * turns it into a drain (precharge the affected banks) followed by
+ * @p rfms RFMab commands, or a single RFMpb to @p flatBank when
+ * @p perBank is set.
+ */
+struct MaintenanceRequest
+{
+    bool wanted = false;
+    bool perBank = false;
+    RfmReason reason = RfmReason::TimingBased;
+    std::uint32_t flatBank = 0;     //!< RFMpb target (perBank only)
+    std::uint32_t rfms = 1;         //!< back-to-back RFMab count
+};
+
+/** Everything a defense may hold onto at construction time. */
+struct MitigationContext
+{
+    const DramSpec *spec = nullptr;
+    const ControllerConfig *config = nullptr;
+    PracEngine *prac = nullptr;
+    StatSet *stats = nullptr;       //!< may be null
+};
+
+/**
+ * Controller-side defense logic; one instance per channel.
+ *
+ * Hook contract (all cycles are controller time):
+ *  - onActivate() fires for every demand ACT the controller issues,
+ *    after the DRAM-side PRAC counter was incremented.
+ *  - onRefresh() fires when a REFab retires on @p rank.
+ *  - maintenanceCommands() is polled exactly when the channel is free
+ *    for proactive work (no active maintenance, no pending Alert
+ *    service).  Returning wanted=false yields the slot.
+ *  - onRfmIssued() fires for every RFM command the controller issues,
+ *    including ABO-service RFMs, so trackers can credit them.
+ *  - nextMaintenanceAt() must never be later than the first cycle at
+ *    which maintenanceCommands() would return work: fast-forward
+ *    skips straight to the returned cycle.
+ *
+ * Stats export: defenses bump StatSet counters live (prefix
+ * "mit.<name>.") and report a per-channel event total through
+ * eventsTriggered(); energy flows through PracEngine::mitigatedRows
+ * like every other mitigation.
+ */
+class Mitigation
+{
+  public:
+    virtual ~Mitigation() = default;
+
+    /** Registry key, e.g. "tprac" or "para". */
+    virtual const char *name() const = 0;
+
+    /** Demand ACT issued on (flatBank, row). */
+    virtual void
+    onActivate(std::uint32_t flat_bank, std::uint32_t row, Cycle now)
+    {
+        (void)flat_bank;
+        (void)row;
+        (void)now;
+    }
+
+    /** REFab issued on @p rank. */
+    virtual void
+    onRefresh(std::uint32_t rank, Cycle now)
+    {
+        (void)rank;
+        (void)now;
+    }
+
+    /** Proactive maintenance wanted at @p now, if any. */
+    virtual MaintenanceRequest
+    maintenanceCommands(Cycle now)
+    {
+        (void)now;
+        return {};
+    }
+
+    /** An RFM with @p reason was issued (RFMpb when @p per_bank). */
+    virtual void
+    onRfmIssued(RfmReason reason, bool per_bank, Cycle now)
+    {
+        (void)reason;
+        (void)per_bank;
+        (void)now;
+    }
+
+    /**
+     * Earliest cycle >= now at which this defense could want the
+     * channel (kNeverCycle when only future activations can create
+     * work).  Used by MemoryController::nextWorkAt for fast-forward.
+     */
+    virtual Cycle
+    nextMaintenanceAt(Cycle now) const
+    {
+        (void)now;
+        return kNeverCycle;
+    }
+
+    /** Defense-specific mitigation events (telemetry/energy export). */
+    virtual std::uint64_t eventsTriggered() const { return 0; }
+
+    /** TB-RFM scheduler, for defenses that own one (else nullptr). */
+    virtual const TbRfmScheduler *tbScheduler() const { return nullptr; }
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_MITIGATION_MITIGATION_H

@@ -83,6 +83,16 @@ PracEngine::mitigateBank(std::uint32_t bank)
 }
 
 void
+PracEngine::mitigateRow(std::uint32_t flat_bank, std::uint32_t row)
+{
+    counters_.reset(flat_bank, row);
+    policy_->onMitigated(flat_bank, row);
+    ++mitigatedRows_;
+    if (stats_)
+        ++stats_->counter("prac.mitigated_rows");
+}
+
+void
 PracEngine::onRfm(Cycle now)
 {
     maybePeriodicReset(now);

@@ -75,6 +75,14 @@ class PracEngine : public DramListener
     /** Apply the tREFW counter-reset policy if the window elapsed. */
     void maybePeriodicReset(Cycle now);
 
+    /**
+     * Externally triggered mitigation of one specific row (e.g. a
+     * PARA neighbour refresh performed inside the row cycle): resets
+     * the row's counter and books the mitigation for stats/energy,
+     * without any bus command.
+     */
+    void mitigateRow(std::uint32_t flat_bank, std::uint32_t row);
+
     /** Next scheduled tREFW reset (kNeverCycle when disabled). */
     Cycle
     nextCounterResetAt() const

@@ -1,6 +1,8 @@
 #include "sim/design.h"
 
 #include <algorithm>
+
+#include "mitigation/registry.h"
 #include <future>
 #include <map>
 #include <mutex>
@@ -31,6 +33,14 @@ makeSystemConfig(const DesignConfig &design, const RunBudget &budget)
     config.mem.prac.queue = QueueKind::SingleEntry;
     config.mem.prac.counterResetAtTrefw = design.counterReset;
     config.mem.prac.trefPeriodRefs = design.trefPeriodRefs;
+
+    if (!design.mitigation.empty()) {
+        configureDefense(config.mem, design.mitigation, config.spec,
+                         design.trefPeriodRefs != 0);
+        if (design.mitigation == "tprac")
+            config.mem.tbRfm.perBank = design.perBankRfm;
+        return config;
+    }
 
     const FeintingParams fp = FeintingParams::fromSpec(config.spec);
     if (design.mode == MitigationMode::AboAcb) {
@@ -95,6 +105,7 @@ runNormalizedPair(const SuiteEntry &entry, const DesignConfig &design,
     DesignConfig baseline = design;
     baseline.label = "baseline";
     baseline.mode = MitigationMode::NoMitigation;
+    baseline.mitigation.clear();
     baseline.perBankRfm = false;
 
     const BaselineKey key = baselineKey(entry, design, budget, cores);

@@ -30,6 +30,14 @@ struct DesignConfig
 {
     std::string label;
     MitigationMode mode = MitigationMode::NoMitigation;
+
+    /**
+     * String-keyed defense (mitigation/registry.h).  When non-empty
+     * it overrides `mode` and the registry derives the defense's
+     * parameters (BAT, TB-Window, RAAIMT, Graphene threshold, PARA
+     * probability) from nbo via configureDefense.
+     */
+    std::string mitigation;
     std::uint32_t nbo = 1024;       //!< NBO = NRH proxy (see DESIGN.md)
     std::uint32_t nmit = 1;         //!< PRAC level
     std::uint32_t trefPeriodRefs = 0;   //!< 0 = no TREF

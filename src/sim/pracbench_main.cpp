@@ -185,11 +185,15 @@ main(int argc, char **argv)
     const ScenarioRegistry &registry = ScenarioRegistry::instance();
 
     if (list) {
-        std::printf("%-28s %7s  %s\n", "scenario", "points", "title");
-        for (const Scenario *scenario : registry.all())
+        std::printf("%-28s %7s  %s\n", "scenario", "points", "tags");
+        for (const Scenario *scenario : registry.all()) {
+            std::string tags;
+            for (const std::string &tag : scenario->tags)
+                tags += (tags.empty() ? "" : ", ") + tag;
             std::printf("%-28s %7zu  %s\n", scenario->name.c_str(),
-                        scenario->grid.size(),
-                        scenario->title.c_str());
+                        scenario->grid.size(), tags.c_str());
+            std::printf("    %s\n", scenario->title.c_str());
+        }
         return 0;
     }
 

@@ -57,6 +57,7 @@ void registerPerfScenarios(ScenarioRegistry &registry);
 void registerCovertScenarios(ScenarioRegistry &registry);
 void registerAblationScenarios(ScenarioRegistry &registry);
 void registerMultichannelScenarios(ScenarioRegistry &registry);
+void registerDefenseScenarios(ScenarioRegistry &registry);
 
 void
 registerBuiltinScenarios()
@@ -70,6 +71,7 @@ registerBuiltinScenarios()
         registerCovertScenarios(registry);
         registerAblationScenarios(registry);
         registerMultichannelScenarios(registry);
+        registerDefenseScenarios(registry);
     });
 }
 

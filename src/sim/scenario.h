@@ -35,6 +35,13 @@ struct Scenario
     /** What the paper reports for this experiment (shown after runs). */
     std::string notes;
 
+    /**
+     * Catalog labels shown by `pracbench --list` (e.g. "attack",
+     * "perf", "defense") so the 20+ scenario catalog stays
+     * navigable; purely informational.
+     */
+    std::vector<std::string> tags;
+
     /** The swept parameter space. */
     ParamGrid grid;
 

@@ -12,6 +12,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "attack/agents.h"
 #include "attack/covert.h"
 #include "attack/harness.h"
 #include "common/rng.h"
@@ -82,6 +83,7 @@ ablationObfuscation()
 {
     Scenario scenario;
     scenario.name = "ablation_obfuscation";
+    scenario.tags = {"ablation", "defense"};
     scenario.title = "Ablation: random-RFM obfuscation vs TPRAC "
                      "(leakage and cost)";
     scenario.notes = "chance = ~50%: obfuscation pushes the naive "
@@ -109,60 +111,6 @@ ablationObfuscation()
 }
 
 // --- Mitigation-queue ablation -------------------------------------
-
-/** Memory-level Feinting attacker (same pattern as test_security). */
-class FeintingAgent : public MemAgent
-{
-  public:
-    FeintingAgent(MemoryController &mem, std::uint32_t pool_size,
-                  std::uint32_t target_row)
-        : mem_(mem), targetRow_(target_row)
-    {
-        for (std::uint32_t i = 0; i < pool_size; ++i)
-            pool_.push_back(target_row + 1 + i);
-        pool_.push_back(target_row);
-    }
-
-    void
-    tick(MemoryController &mem, Cycle) override
-    {
-        while (outstanding_ < 2) {
-            Request req;
-            req.addr = mem.mapper().compose(
-                DramAddress{0, 0, 0, nextRow(), 0});
-            req.onComplete = [this](const Request &) {
-                --outstanding_;
-            };
-            if (!mem.enqueue(std::move(req)))
-                return;
-            ++outstanding_;
-        }
-    }
-
-  private:
-    std::uint32_t
-    nextRow()
-    {
-        if (cursor_ >= pool_.size()) {
-            cursor_ = 0;
-            std::vector<std::uint32_t> alive;
-            for (const std::uint32_t row : pool_)
-                if (row == targetRow_ ||
-                    mem_.prac().counters().get(0, row) > 0)
-                    alive.push_back(row);
-            pool_ = std::move(alive);
-        }
-        if (pool_.size() <= 1)
-            return targetRow_;
-        return pool_[cursor_++];
-    }
-
-    MemoryController &mem_;
-    std::uint32_t targetRow_;
-    std::vector<std::uint32_t> pool_;
-    std::size_t cursor_ = 0;
-    std::uint32_t outstanding_ = 0;
-};
 
 /**
  * The FIFO-specific exploit from the QPRAC/MOAT analyses: keep the
@@ -306,6 +254,7 @@ ablationQueues()
 {
     Scenario scenario;
     scenario.name = "ablation_queues";
+    scenario.tags = {"ablation", "security"};
     scenario.title = "Ablation: mitigation-queue designs under the "
                      "Feinting and FIFO-overflow attacks";
     scenario.notes = "window_scale 0 = the FIFO-overflow exploit "
@@ -353,6 +302,7 @@ ablationRfmpb()
 {
     Scenario scenario;
     scenario.name = "ablation_rfmpb";
+    scenario.tags = {"ablation", "perf"};
     scenario.title = "Ablation: all-bank TPRAC vs per-bank TPRAC-PB "
                      "(high-RBMPKI subset)";
     scenario.notes = "the per-bank variant removes most of the "

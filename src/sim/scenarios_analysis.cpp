@@ -23,6 +23,7 @@ fig07TmaxAnalysis()
 {
     Scenario scenario;
     scenario.name = "fig07_tmax_analysis";
+    scenario.tags = {"analysis"};
     scenario.title = "Figure 7: TMAX vs TB-Window, and derived safe "
                      "windows per NBO";
     scenario.notes = "paper: safe TB-Window ~1.6 tREFI at NRH = 1024";

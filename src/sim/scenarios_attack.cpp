@@ -118,6 +118,7 @@ fig03TimingVariation()
 {
     Scenario scenario;
     scenario.name = "fig03_timing_variation";
+    scenario.tags = {"attack"};
     scenario.title = "Figure 3: attacker latency vs concurrent ABO";
     scenario.notes = "paper: spikes ~545 / 976 / 1669 ns for PRAC "
                      "level 1 / 2 / 4; flat without a victim";
@@ -154,6 +155,7 @@ fig04SideChannelTrace()
 {
     Scenario scenario;
     scenario.name = "fig04_side_channel_trace";
+    scenario.tags = {"attack"};
     scenario.title = "Figure 4: one side-channel attack instance "
                      "(latency trace, RFMs, per-row ACTs)";
     scenario.notes = "paper: single ABO with 207 victim + 49 attacker "
@@ -232,6 +234,7 @@ fig05KeySweep()
 {
     Scenario scenario;
     scenario.name = "fig05_key_sweep";
+    scenario.tags = {"attack"};
     scenario.title = "Figure 5: side-channel key sweep (hottest row "
                      "and ABO trigger row vs k0)";
     scenario.notes = "paper: trigger row tracks k0's top nibble; "
@@ -291,6 +294,7 @@ fig09DefenseValidation()
 {
     Scenario scenario;
     scenario.name = "fig09_defense_validation";
+    scenario.tags = {"attack", "defense"};
     scenario.title = "Figure 9: row triggering the first observed RFM "
                      "vs k0, undefended and under TPRAC";
     scenario.notes = "paper: undefended trigger row tracks the key; "

@@ -29,6 +29,7 @@ table2CovertChannels()
 {
     Scenario scenario;
     scenario.name = "table2_covert_channels";
+    scenario.tags = {"covert"};
     scenario.title = "Table 2: covert-channel period and bitrate";
     scenario.notes = "paper: activity 24.1-91.8us / 41.4-10.9Kbps; "
                      "count 64.7-257.6us / 123.6-38.8Kbps (our count "

@@ -43,6 +43,7 @@ perfChannelSweep()
 {
     Scenario scenario;
     scenario.name = "perf_channel_sweep";
+    scenario.tags = {"perf", "multichannel"};
     scenario.title = "Channel sweep: throughput and TPRAC overhead vs "
                      "interleaved channel count";
     scenario.notes = "per-channel PRAC engines fire their TB-RFMs in "
@@ -151,6 +152,7 @@ sidechannelCrossChannel()
 {
     Scenario scenario;
     scenario.name = "sidechannel_cross_channel";
+    scenario.tags = {"attack", "multichannel"};
     scenario.title = "Cross-channel isolation: ABO spikes seen from "
                      "the victim's channel vs another channel";
     scenario.notes = "PRAC counters, Alerts, and RFMs are per "
@@ -251,6 +253,7 @@ covertChannelParallel()
 {
     Scenario scenario;
     scenario.name = "covert_channel_parallel";
+    scenario.tags = {"covert", "multichannel"};
     scenario.title = "Covert capacity table: one activity-channel "
                      "pair per memory channel, in parallel";
     scenario.notes = "all pairs run concurrently on one multi-channel "
@@ -323,6 +326,7 @@ fastforwardBenchmark()
 {
     Scenario scenario;
     scenario.name = "fastforward_benchmark";
+    scenario.tags = {"perf"};
     scenario.title = "Idle-cycle fast-forward: wall-clock speedup on "
                      "low-RBMPKI pointer chases (results identical)";
     scenario.notes = "run with --jobs 1 for clean wall-clock "

@@ -162,6 +162,7 @@ fig10Performance()
 {
     Scenario scenario;
     scenario.name = "fig10_performance";
+    scenario.tags = {"perf"};
     scenario.title = "Figure 10: normalized performance at NRH=1024";
     scenario.notes = "paper: tprac mean 0.966 (worst 0.917), abo+acb "
                      "0.993, abo-only ~1.0; TPRAC must stay "
@@ -215,6 +216,7 @@ fig11PracLevels()
 {
     Scenario scenario;
     scenario.name = "fig11_prac_levels";
+    scenario.tags = {"perf"};
     scenario.title = "Figure 11: sensitivity to the PRAC level "
                      "(NRH=1024, high-RBMPKI subset)";
     scenario.notes = "paper: flat across levels; tprac ~0.966, "
@@ -249,6 +251,7 @@ fig12TrefSensitivity()
 {
     Scenario scenario;
     scenario.name = "fig12_tref_sensitivity";
+    scenario.tags = {"perf"};
     scenario.title = "Figure 12: TPRAC vs Targeted-Refresh rate "
                      "(NRH=1024)";
     scenario.notes = "paper: 0.966 -> 0.976 -> 0.980 -> 0.986 -> ~1.0 "
@@ -303,6 +306,7 @@ fig13NrhSweep()
 {
     Scenario scenario;
     scenario.name = "fig13_nrh_sweep";
+    scenario.tags = {"perf"};
     scenario.title = "Figure 13: normalized performance vs NRH "
                      "(high+medium subset)";
     scenario.notes = "paper (all-suite): tprac 0.774/0.859/0.935/"
@@ -337,6 +341,7 @@ fig14CounterReset()
 {
     Scenario scenario;
     scenario.name = "fig14_counter_reset";
+    scenario.tags = {"perf"};
     scenario.title = "Figure 14: TPRAC counter-reset sensitivity "
                      "(high+medium subset)";
     scenario.notes = "paper: reset vs no-reset differs <1% at "
@@ -383,6 +388,7 @@ table4Rbmpki()
 {
     Scenario scenario;
     scenario.name = "table4_rbmpki";
+    scenario.tags = {"perf"};
     scenario.title = "Table 4: RBMPKI categorization of the workload "
                      "suite";
     scenario.notes = "bands: High >= 10, Medium in [1, 10), Low < 1";
@@ -434,6 +440,7 @@ table5Energy()
 {
     Scenario scenario;
     scenario.name = "table5_energy";
+    scenario.tags = {"perf", "energy"};
     scenario.title = "Table 5: TPRAC energy overhead (high+medium "
                      "subset)";
     scenario.notes = "paper: 44.3 / 26.1 / 10.4 / 7.4 / 2.6 / 1.0 % "

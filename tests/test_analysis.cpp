@@ -147,6 +147,54 @@ TEST(Analysis, SafeBatProtects)
     }
 }
 
+TEST(Analysis, WindowBelowRowCycleYieldsZeroActsAndTmax)
+{
+    // A TB-Window smaller than tRC (after the RFM's own blocking time
+    // is deducted) admits no activations at all: TMAX degenerates to
+    // zero and one "round" covers any pool.
+    const FeintingParams p = defaultParams();
+    const double tiny = p.trfmabNs + 0.5 * p.trcNs;
+    EXPECT_EQ(actsPerWindow(tiny, p), 0u);
+    EXPECT_EQ(tmaxWithReset(tiny, p), 0u);
+    EXPECT_EQ(tmaxNoReset(tiny, p), 0u);
+    EXPECT_EQ(attackRounds(1024, 0), 1u);
+    EXPECT_EQ(targetActivations(1024, 0), 0u);
+}
+
+TEST(Analysis, SingleRowBankDegeneratesToOneWindow)
+{
+    // With one row per bank there are no decoys: both TMAX variants
+    // collapse to the activations of a single window.
+    FeintingParams p = defaultParams();
+    p.rowsPerBank = 1;
+    const double w = p.trefiNs;
+    const std::uint64_t act_w = actsPerWindow(w, p);
+    EXPECT_EQ(tmaxNoReset(w, p), act_w);
+    EXPECT_LE(tmaxWithReset(w, p), act_w);
+    EXPECT_GT(maxSafeWindowNs(1 + static_cast<std::uint32_t>(act_w),
+                              false, p),
+              0.0);
+}
+
+TEST(Analysis, MaxSafeBatMonotonicInNbo)
+{
+    const FeintingParams p = defaultParams();
+    std::uint32_t prev = 0;
+    for (std::uint32_t nbo : {128u, 192u, 256u, 384u, 512u, 768u,
+                              1024u, 2048u, 4096u}) {
+        const std::uint32_t bat = maxSafeBat(nbo, true, p);
+        ASSERT_GT(bat, 0u) << "nbo=" << nbo;
+        EXPECT_GE(bat, prev) << "nbo=" << nbo;
+        // Safety and maximality of the returned threshold.
+        EXPECT_LT(tmax(bat * p.trcNs + p.trfmabNs, true, p), nbo);
+        if (bat < nbo)
+            EXPECT_GE(
+                tmax((bat + 1) * p.trcNs + p.trfmabNs, true, p), nbo)
+                << "nbo=" << nbo;
+        prev = bat;
+    }
+}
+
 /** Property sweep: safe windows really are safe across geometries. */
 class AnalysisProperty
     : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>>

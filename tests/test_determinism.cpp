@@ -80,6 +80,28 @@ TEST(Determinism, AttackSweepIdenticalAcrossJobCounts)
     EXPECT_EQ(serial, parallel);
 }
 
+TEST(Determinism, DefenseSweepIdenticalAcrossJobCounts)
+{
+    // The stochastic defenses draw from counter-based per-channel RNG
+    // streams (common/rng.h), so a PARA sweep must be byte-identical
+    // at any worker count.
+    registerBuiltinScenarios();
+    SweepOptions options;
+    options.overrides["mitigation"] = {JsonValue("para"),
+                                       JsonValue("graphene")};
+    options.overrides["entry"] = {JsonValue("h_rand_heavy"),
+                                  JsonValue("m_blend")};
+    options.overrides["warmup"] = {JsonValue(std::int64_t{5'000})};
+    options.overrides["measure"] = {JsonValue(std::int64_t{30'000})};
+
+    const std::string serial =
+        dumpRows(runWithJobs("defense_matrix_perf", options, 1));
+    const std::string parallel =
+        dumpRows(runWithJobs("defense_matrix_perf", options, 8));
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("para"), std::string::npos);
+}
+
 TEST(Determinism, RepeatedRunsIdentical)
 {
     registerBuiltinScenarios();

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "sim/design.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
 
@@ -154,6 +155,92 @@ TEST(Golden, AblationObfuscationEndpoints)
     // than the pure-integer metrics but still pin the value.
     EXPECT_NEAR(doubleOf(tprac, "perf_overhead_pct"), 6.4237551,
                 1e-6);
+}
+
+/**
+ * Golden equivalence for the mitigation-subsystem port: every legacy
+ * MitigationMode, run through the pluggable defense framework, must
+ * reproduce the exact RunResult the pre-refactor seed tree produced
+ * (captured on the seed at warmup 5k / measure 30k, h_rand_heavy,
+ * NBO 512).  The string-keyed registry path must land on the same
+ * numbers as the enum path wherever the two overlap.
+ */
+TEST(Golden, MitigationPortBitIdentical)
+{
+    struct ModeGolden
+    {
+        const char *label;          //!< registry key (both paths pinned)
+        MitigationMode mode;
+        bool perBank;
+        double randomP;             //!< <0 = keep default
+        Cycle measureCycles;
+        std::uint64_t rowMisses, acbRfms, tbRfms;
+        std::uint64_t acts, reads, refreshes, mitigatedRows;
+        double ipcSum;
+    };
+    const ModeGolden goldens[] = {
+        {"none", MitigationMode::NoMitigation, false, -1.0, 68703,
+         7248, 0, 0, 7248, 7134, 18, 0, 2.0489360293490995},
+        {"abo-only", MitigationMode::AboOnly, false, -1.0, 68703,
+         7248, 0, 0, 7248, 7134, 18, 0, 2.0489360293490995},
+        {"abo+acb-rfm", MitigationMode::AboAcb, false, -1.0, 69962,
+         7278, 1, 0, 7278, 7140, 18, 128, 2.0192470280532815},
+        {"tprac", MitigationMode::Tprac, false, -1.0, 80032, 7390, 0,
+         7, 7390, 7143, 21, 895, 1.8080590938067311},
+        {"tprac", MitigationMode::Tprac, true, -1.0, 70729, 7318, 0,
+         324, 7318, 7163, 18, 284, 1.9985431032256193},
+        {"obfuscation", MitigationMode::Obfuscation, false, 0.5,
+         72853, 7386, 0, 0, 7386, 7195, 19, 384,
+         1.9574388751809564},
+    };
+
+    RunBudget budget;
+    budget.warmup = 5'000;
+    budget.measure = 30'000;
+    const SuiteEntry &entry = findSuiteEntry("h_rand_heavy");
+
+    for (const ModeGolden &golden : goldens) {
+        // Legacy enum path and (where a key exists) registry path.
+        for (const bool by_name : {false, true}) {
+            if (by_name && golden.label[0] == '\0')
+                continue;
+            DesignConfig design;
+            design.label = golden.label;
+            design.nbo = 512;
+            design.perBankRfm = golden.perBank;
+            if (golden.randomP >= 0.0)
+                design.randomRfmPerTrefi = golden.randomP;
+            if (by_name)
+                design.mitigation = golden.label;
+            else
+                design.mode = golden.mode;
+
+            const RunResult result = runOne(entry, design, budget);
+            const char *what =
+                by_name ? "registry path" : "enum path";
+            EXPECT_EQ(result.measureCycles, golden.measureCycles)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.rowMisses, golden.rowMisses)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.acbRfms, golden.acbRfms)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.tbRfms, golden.tbRfms)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.aboRfms, 0u) << golden.label;
+            EXPECT_EQ(result.alerts, 0u) << golden.label;
+            EXPECT_EQ(result.energyCounts.acts, golden.acts)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.energyCounts.reads, golden.reads)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.energyCounts.refreshes,
+                      golden.refreshes)
+                << golden.label << " " << what;
+            EXPECT_EQ(result.energyCounts.mitigatedRows,
+                      golden.mitigatedRows)
+                << golden.label << " " << what;
+            expectNear(result.ipcSum(), golden.ipcSum, "ipcSum");
+        }
+    }
 }
 
 } // namespace

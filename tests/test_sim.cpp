@@ -199,11 +199,17 @@ TEST(ScenarioRegistry, BuiltinsCoverEveryFigureAndTable)
         "table2_covert_channels", "table4_rbmpki", "table5_energy",
         "ablation_obfuscation", "ablation_queues", "ablation_rfmpb",
         "perf_channel_sweep", "sidechannel_cross_channel",
-        "covert_channel_parallel", "fastforward_benchmark"};
+        "covert_channel_parallel", "fastforward_benchmark",
+        "defense_matrix_leakage", "defense_matrix_perf",
+        "defense_matrix_security"};
     EXPECT_EQ(registry.size(), std::size(names));
     for (const char *name : names)
         EXPECT_NE(registry.find(name), nullptr) << name;
     EXPECT_EQ(registry.find("nope"), nullptr);
+
+    // Every scenario carries at least one catalog tag (--list).
+    for (const Scenario *scenario : registry.all())
+        EXPECT_FALSE(scenario->tags.empty()) << scenario->name;
 }
 
 TEST(Runner, SweepMergesParamsAndSummarizes)
