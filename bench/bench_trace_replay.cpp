@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace record/replay driver: the record-once / replay-per-defense
+ * sweep is registered as "trace_replay_defense_sweep"
+ * (src/sim/scenarios_trace.cpp); the microbenchmarks below time the
+ * subsystem's building blocks -- serializing and parsing the binary
+ * container, and one full replay against a full simulation of the
+ * same workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/design.h"
+#include "sim/runner.h"
+#include "sim/trace_support.h"
+#include "trace/replay.h"
+#include "trace/trace.h"
+
+using namespace pracleak;
+using namespace pracleak::sim;
+
+namespace {
+
+const RecordedRun &
+sampleRecording()
+{
+    static const RecordedRun recorded = [] {
+        DesignConfig design;
+        design.label = "none";
+        design.mitigation = "none";
+        design.nbo = 512;
+        RunBudget budget;
+        budget.warmup = 5'000;
+        budget.measure = 30'000;
+        return recordSuiteRun(findSuiteEntry("h_rand_heavy"), design,
+                              budget);
+    }();
+    return recorded;
+}
+
+void
+BM_TraceSerialize(benchmark::State &state)
+{
+    const trace::TraceData &data = sampleRecording().trace;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace::serializeTrace(data));
+}
+
+BENCHMARK(BM_TraceSerialize)->Unit(benchmark::kMicrosecond);
+
+void
+BM_TraceParse(benchmark::State &state)
+{
+    const std::string image =
+        trace::serializeTrace(sampleRecording().trace);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace::TraceReader::parse(image));
+}
+
+BENCHMARK(BM_TraceParse)->Unit(benchmark::kMicrosecond);
+
+void
+BM_FullSimulation(benchmark::State &state)
+{
+    DesignConfig design;
+    design.label = "tprac";
+    design.mitigation = "tprac";
+    design.nbo = 512;
+    RunBudget budget;
+    budget.warmup = 5'000;
+    budget.measure = 30'000;
+    const SuiteEntry &entry = findSuiteEntry("h_rand_heavy");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            runOne(entry, design, budget).measureCycles);
+}
+
+BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_Replay(benchmark::State &state)
+{
+    const trace::TraceData &data = sampleRecording().trace;
+    trace::ReplayOptions options;
+    options.mitigation = "tprac";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            trace::replayTrace(data, options).endCycle);
+}
+
+BENCHMARK(BM_Replay)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runAndPrint("trace_replay_defense_sweep");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,38 @@
+#include "cpu/replay_core.h"
+
+namespace pracleak {
+
+ReplayCore::ReplayCore(
+    MemoryController &mem,
+    const std::vector<trace::TraceRecord> &records)
+    : mem_(&mem), records_(&records)
+{
+    nextEventAt_ =
+        records_->empty() ? kNeverCycle : records_->front().cycle;
+}
+
+void
+ReplayCore::tick(Cycle now)
+{
+    while (next_ < records_->size()) {
+        const trace::TraceRecord &record = (*records_)[next_];
+        if (record.cycle > now) {
+            nextEventAt_ = record.cycle;
+            return;
+        }
+        Request request;
+        request.type = record.type;
+        request.addr = record.addr;
+        request.coreId = record.coreId;
+        if (!mem_->enqueue(std::move(request))) {
+            // Queue full (cross-defense back-pressure): hold the
+            // stream in order and retry next cycle.
+            nextEventAt_ = now + 1;
+            return;
+        }
+        ++next_;
+    }
+    nextEventAt_ = kNeverCycle;
+}
+
+} // namespace pracleak

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace-replay driver for one memory channel.
+ *
+ * A ReplayCore stands where TraceCore + caches stand in a full
+ * simulation: it feeds a recorded request stream (src/trace/) back
+ * into a fresh MemoryController at the recorded cycles.  It exposes
+ * the same event interface as TraceCore -- tick(now) before the
+ * controller ticks, and nextEventAt() for idle-cycle fast-forward --
+ * so the replay loop skips dead cycles exactly like System does.
+ *
+ * Under the defense the trace was recorded with, the controller
+ * accepts every request at its recorded cycle (the recorded run
+ * proved the queue had room) and the replay is bit-identical to the
+ * original run.  Under a different defense, added maintenance can
+ * back-pressure the queue; the core then holds the stream (preserving
+ * order) and retries each cycle, which is the standard open-loop
+ * trace-replay approximation.
+ */
+
+#ifndef PRACLEAK_CPU_REPLAY_CORE_H
+#define PRACLEAK_CPU_REPLAY_CORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/controller.h"
+#include "trace/trace.h"
+
+namespace pracleak {
+
+/** Replays one recorded channel stream into one controller. */
+class ReplayCore
+{
+  public:
+    /** @p records must outlive the core (the trace owns them). */
+    ReplayCore(MemoryController &mem,
+               const std::vector<trace::TraceRecord> &records);
+
+    /** Enqueue every record due at @p now (call before mem.tick()). */
+    void tick(Cycle now);
+
+    /**
+     * Earliest future cycle at which this core has work: the next
+     * record's cycle, now+1 while back-pressured by a full queue, and
+     * kNeverCycle once the stream is exhausted.  Same fast-forward
+     * contract as TraceCore::nextEventAt.
+     */
+    Cycle nextEventAt() const { return nextEventAt_; }
+
+    bool done() const { return next_ >= records_->size(); }
+    std::uint64_t replayed() const { return next_; }
+
+  private:
+    MemoryController *mem_;
+    const std::vector<trace::TraceRecord> *records_;
+    std::size_t next_ = 0;
+    Cycle nextEventAt_ = 0;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_CPU_REPLAY_CORE_H

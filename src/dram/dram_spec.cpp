@@ -1,5 +1,7 @@
 #include "dram/dram_spec.h"
 
+#include <stdexcept>
+
 namespace pracleak {
 
 DramSpec
@@ -9,6 +11,98 @@ DramSpec::ddr5_8000b()
     // this factory exists so call sites read as intent, and so future
     // variants (e.g. 16 Gb parts) can be added without touching users.
     return DramSpec{};
+}
+
+namespace {
+
+/** Shared 16 Gb geometry of the mainstream bins: 4 KB rows. */
+DramOrg
+org16Gb(std::uint32_t ranks)
+{
+    DramOrg org;
+    org.ranks = ranks;
+    org.bankGroups = 8;
+    org.banksPerGroup = 4;
+    org.rowsPerBank = 64 * 1024;
+    org.colsPerRow = 64;
+    return org;
+}
+
+} // namespace
+
+DramSpec
+DramSpec::ddr5_4800(std::uint32_t ranks)
+{
+    DramSpec spec;
+    spec.org = org16Gb(ranks);
+    // DDR5-4800B: ~14.2 ns CAS, BL16 at 4800 MT/s = 3.33 ns bursts.
+    // tRP/tWR keep the PRAC extension (row-cycle counter update).
+    spec.timing.tRCD = nsToCycles(14.2);
+    spec.timing.tCL = nsToCycles(14.2);
+    spec.timing.tCWL = nsToCycles(14.2);
+    spec.timing.tRAS = nsToCycles(32);
+    spec.timing.tRP = nsToCycles(34.2);
+    spec.timing.tRC = nsToCycles(66.2);
+    spec.timing.tBL = nsToCycles(3.34);
+    spec.timing.tCCD_S = nsToCycles(3.34);
+    spec.timing.tCCD_L = nsToCycles(5);
+    spec.timing.tRRD_S = nsToCycles(3.34);
+    spec.timing.tRRD_L = nsToCycles(5);
+    spec.timing.tFAW = nsToCycles(13.334);
+    spec.timing.tRFC = nsToCycles(295); // 16 Gb REFab
+    return spec;
+}
+
+DramSpec
+DramSpec::ddr5_6400(std::uint32_t ranks)
+{
+    DramSpec spec;
+    spec.org = org16Gb(ranks);
+    // DDR5-6400B: ~14.4 ns CAS, BL16 at 6400 MT/s = 2.5 ns bursts.
+    spec.timing.tRCD = nsToCycles(14.4);
+    spec.timing.tCL = nsToCycles(14.4);
+    spec.timing.tCWL = nsToCycles(14.4);
+    spec.timing.tRAS = nsToCycles(32);
+    spec.timing.tRP = nsToCycles(34.4);
+    spec.timing.tRC = nsToCycles(66.4);
+    spec.timing.tBL = nsToCycles(2.5);
+    spec.timing.tCCD_S = nsToCycles(2.5);
+    spec.timing.tCCD_L = nsToCycles(5);
+    spec.timing.tRRD_S = nsToCycles(2.5);
+    spec.timing.tRRD_L = nsToCycles(5);
+    spec.timing.tFAW = nsToCycles(10);
+    spec.timing.tRFC = nsToCycles(295); // 16 Gb REFab
+    return spec;
+}
+
+const std::vector<std::string> &
+specNames()
+{
+    static const std::vector<std::string> names = {
+        "ddr5-8000b",   "ddr5-4800-1r", "ddr5-4800-2r",
+        "ddr5-6400-1r", "ddr5-6400-2r",
+    };
+    return names;
+}
+
+DramSpec
+specByName(const std::string &name)
+{
+    if (name == "ddr5-8000b")
+        return DramSpec::ddr5_8000b();
+    if (name == "ddr5-4800-1r")
+        return DramSpec::ddr5_4800(1);
+    if (name == "ddr5-4800-2r")
+        return DramSpec::ddr5_4800(2);
+    if (name == "ddr5-6400-1r")
+        return DramSpec::ddr5_6400(1);
+    if (name == "ddr5-6400-2r")
+        return DramSpec::ddr5_6400(2);
+    std::string known;
+    for (const std::string &spec : specNames())
+        known += (known.empty() ? "" : ", ") + spec;
+    throw std::invalid_argument("unknown DRAM spec '" + name +
+                                "' (have: " + known + ")");
 }
 
 } // namespace pracleak

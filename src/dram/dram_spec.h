@@ -11,6 +11,8 @@
 #define PRACLEAK_DRAM_DRAM_SPEC_H
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -108,7 +110,30 @@ struct DramSpec
      * 1 channel x 4 ranks x 8 bank groups x 4 banks, 128K 8KB rows.
      */
     static DramSpec ddr5_8000b();
+
+    /**
+     * Mainstream-bin variants for geometry-sensitivity studies: 16 Gb
+     * DDR5-4800 / DDR5-6400 parts with 1-2 ranks and smaller (4 KB)
+     * rows.  Timings are representative JEDEC-bin values expressed in
+     * the shared 0.25 ns simulator clock; the PRAC parameters are
+     * unchanged so defenses stay comparable across bins.
+     */
+    static DramSpec ddr5_4800(std::uint32_t ranks = 2);
+    static DramSpec ddr5_6400(std::uint32_t ranks = 2);
 };
+
+/**
+ * Registered spec names, in catalog order ("ddr5-8000b" first --
+ * the default everywhere a spec name is optional).
+ */
+const std::vector<std::string> &specNames();
+
+/**
+ * Factory lookup by registered name; throws std::invalid_argument
+ * listing the known names (CLI- and grid-friendly, like
+ * findSuiteEntry).
+ */
+DramSpec specByName(const std::string &name);
 
 } // namespace pracleak
 

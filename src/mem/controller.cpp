@@ -61,6 +61,8 @@ MemoryController::enqueue(Request request)
         return false;
     request.arrival = now_;
     request.daddr = mapper_.map(request.addr);
+    if (tap_)
+        tap_->onEnqueue(request, now_);
     queue_.push_back(Entry{std::move(request), nextSeq_++});
     if (stats_)
         ++stats_->counter(request.type == ReqType::Read ? "mem.reads"
@@ -253,6 +255,38 @@ MemoryController::tickMaintenance()
 }
 
 bool
+MemoryController::hitDeferredAtCap(
+    std::deque<Entry>::const_iterator it, const DramAddress &da) const
+{
+    // A row hit may bypass older requests unless the streak cap is
+    // reached AND an older request is waiting on the same bank with a
+    // different row (the FR-FCFS starvation case the cap exists for).
+    if (hitStreak_[mapper_.flatBank(da)] < config_.frfcfsCap)
+        return false;
+    for (auto older = queue_.begin(); older != it; ++older) {
+        const DramAddress &oda = older->req.daddr;
+        if (oda.sameBank(da) && oda.row != da.row)
+            return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::preDeferredForPendingHit(
+    const DramAddress &da, std::uint32_t open_row) const
+{
+    // Open-page policy: don't close a row another queued request
+    // still hits, as long as the streak cap leaves it headroom.
+    if (hitStreak_[mapper_.flatBank(da)] >= config_.frfcfsCap)
+        return false;
+    for (const Entry &other : queue_)
+        if (other.req.daddr.sameBank(da) &&
+            other.req.daddr.row == open_row)
+            return true;
+    return false;
+}
+
+bool
 MemoryController::tickDemand()
 {
     if (queue_.empty())
@@ -273,19 +307,6 @@ MemoryController::tickDemand()
         return false;
     };
 
-    // A row hit may bypass older requests unless the streak cap is
-    // reached AND an older request is waiting on the same bank with a
-    // different row (the FR-FCFS starvation case the cap exists for).
-    auto older_conflict = [&](std::deque<Entry>::iterator it,
-                              const DramAddress &da) {
-        for (auto older = queue_.begin(); older != it; ++older) {
-            const DramAddress &oda = older->req.daddr;
-            if (oda.sameBank(da) && oda.row != da.row)
-                return true;
-        }
-        return false;
-    };
-
     // Pass 1: oldest ready row-hit, subject to the streak cap.
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         const DramAddress &da = it->req.daddr;
@@ -295,8 +316,7 @@ MemoryController::tickDemand()
             dram_.openRow(da.rank, da.bankGroup, da.bank) != da.row)
             continue;
         const std::uint32_t flat = mapper_.flatBank(da);
-        if (hitStreak_[flat] >= config_.frfcfsCap &&
-            older_conflict(it, da))
+        if (hitDeferredAtCap(it, da))
             continue; // let the conflicting older request make progress
 
         const bool is_read = it->req.type == ReqType::Read;
@@ -334,19 +354,8 @@ MemoryController::tickDemand()
             // the streak cap bounds how long conflicts can starve).
             const std::uint32_t open_row =
                 dram_.openRow(da.rank, da.bankGroup, da.bank);
-            const std::uint32_t flat_pre = mapper_.flatBank(da);
-            if (hitStreak_[flat_pre] < config_.frfcfsCap) {
-                bool hit_pending = false;
-                for (const Entry &other : queue_) {
-                    if (other.req.daddr.sameBank(da) &&
-                        other.req.daddr.row == open_row) {
-                        hit_pending = true;
-                        break;
-                    }
-                }
-                if (hit_pending)
-                    continue;
-            }
+            if (preDeferredForPendingHit(da, open_row))
+                continue;
             Command pre{CmdType::PRE, da.rank, da.bankGroup, da.bank, 0,
                         0};
             if (issueIfReady(pre)) {
@@ -431,10 +440,45 @@ MemoryController::run(Cycle cycles)
 Cycle
 MemoryController::nextWorkAt() const
 {
-    if (!queue_.empty() || maint_.active || prac_->alertAsserted())
+    if (maint_.active || prac_->alertAsserted())
         return now_;
 
     Cycle next = kNeverCycle;
+
+    // Demand: the earliest cycle at which any command tickDemand()
+    // would be willing to issue -- CAS on a row hit, PRE on a row
+    // conflict, ACT on a closed bank -- becomes legal under the DRAM
+    // timing state.  The deferral predicates are the same functions
+    // tickDemand() calls: they depend only on queue content,
+    // open-row state, and hit streaks, all of which are frozen while
+    // no command issues, so a candidate declined today stays
+    // declined until some other candidate fires first.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const DramAddress &da = it->req.daddr;
+        const bool open = dram_.isOpen(da.rank, da.bankGroup, da.bank);
+        Command cmd{CmdType::ACT, da.rank, da.bankGroup, da.bank,
+                    da.row, 0};
+        if (open && dram_.openRow(da.rank, da.bankGroup, da.bank) ==
+                        da.row) {
+            if (hitDeferredAtCap(it, da))
+                continue;
+            cmd = Command{it->req.type == ReqType::Read ? CmdType::RD
+                                                        : CmdType::WR,
+                          da.rank, da.bankGroup, da.bank, da.row,
+                          da.col};
+        } else if (open) {
+            if (preDeferredForPendingHit(
+                    da, dram_.openRow(da.rank, da.bankGroup,
+                                      da.bank)))
+                continue;
+            cmd = Command{CmdType::PRE, da.rank, da.bankGroup,
+                          da.bank, 0, 0};
+        }
+        next = std::min(next, dram_.earliestIssue(cmd));
+        if (next <= now_)
+            return now_;
+    }
+
     for (const InFlight &flight : inFlight_)
         next = std::min(next, flight.doneAt);
     if (config_.refreshEnabled)

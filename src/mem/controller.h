@@ -72,6 +72,22 @@ enum class MitigationMode : std::uint8_t
 
 const char *mitigationModeName(MitigationMode mode);
 
+/**
+ * Observer of the controller's enqueue boundary.  The trace subsystem
+ * (src/trace/) installs one per channel to serialize the accepted
+ * request stream; the hook fires only for requests that were actually
+ * admitted, so a recorded trace replays 1:1 against a fresh
+ * controller.  Taps must not mutate controller state.
+ */
+class RequestTap
+{
+  public:
+    virtual ~RequestTap() = default;
+
+    /** @p request was accepted at controller cycle @p now. */
+    virtual void onEnqueue(const Request &request, Cycle now) = 0;
+};
+
 /** Controller configuration. */
 struct ControllerConfig
 {
@@ -138,13 +154,17 @@ class MemoryController
 
     /**
      * Earliest cycle >= now() at which tick() could have any effect.
-     * Returns now() whenever the controller is busy (queued demand,
-     * active maintenance, an asserted Alert, maintenance debt held by
-     * the defense); otherwise the nearest scheduled event: an
-     * in-flight completion, a refresh deadline, the defense's next
-     * maintenance deadline, or the tREFW counter reset.  Cycles
-     * strictly before the returned value are provably dead and may be
-     * skipped.
+     * Returns now() whenever the controller can act immediately
+     * (active maintenance, an asserted Alert, a queued request whose
+     * next command is already legal); otherwise the nearest scheduled
+     * event: the first cycle a queued request's CAS/PRE/ACT becomes
+     * legal under the DRAM timing state, an in-flight completion, a
+     * refresh deadline, the defense's next maintenance deadline, or
+     * the tREFW counter reset.  Cycles strictly before the returned
+     * value are provably dead and may be skipped -- this is what
+     * makes trace replay (src/trace/) cheap: with no cores to model,
+     * the replay loop jumps between memory events even while the
+     * queue is full.
      */
     Cycle nextWorkAt() const;
 
@@ -186,6 +206,9 @@ class MemoryController
         return rfmCounts_[static_cast<std::size_t>(reason)];
     }
 
+    /** Install (or clear, with nullptr) the enqueue-boundary tap. */
+    void setRequestTap(RequestTap *tap) { tap_ = tap; }
+
   private:
     struct Entry
     {
@@ -210,6 +233,18 @@ class MemoryController
     void startRefreshIfNeeded();
     bool tickMaintenance();
     bool tickDemand();
+
+    /**
+     * FR-FCFS deferral predicates, shared between tickDemand() and
+     * nextWorkAt() so the scheduler and its fast-forward bound
+     * cannot drift: a row hit is declined at the streak cap while an
+     * older same-bank conflict starves, and a conflict PRE is held
+     * while a queued request still hits the open row below the cap.
+     */
+    bool hitDeferredAtCap(std::deque<Entry>::const_iterator it,
+                          const DramAddress &da) const;
+    bool preDeferredForPendingHit(const DramAddress &da,
+                                  std::uint32_t open_row) const;
     bool issueIfReady(const Command &cmd);
     void finishRequest(Entry &entry, Cycle done_at);
     void countRfm(RfmReason reason, bool per_bank);
@@ -217,6 +252,7 @@ class MemoryController
     DramSpec spec_;
     ControllerConfig config_;
     StatSet *stats_;
+    RequestTap *tap_ = nullptr;
 
     DramDevice dram_;
     AddressMapper mapper_;

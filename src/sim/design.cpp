@@ -16,7 +16,8 @@ SystemConfig
 makeSystemConfig(const DesignConfig &design, const RunBudget &budget)
 {
     SystemConfig config;
-    config.spec = DramSpec::ddr5_8000b();
+    config.spec = design.spec.empty() ? DramSpec::ddr5_8000b()
+                                      : specByName(design.spec);
     config.spec.prac.nbo = design.nbo;
     config.spec.prac.nmit = design.nmit;
     if (design.ranks != 0)
@@ -69,7 +70,7 @@ namespace {
 
 /** Every knob a NoMitigation baseline run can observe. */
 using BaselineKey =
-    std::tuple<std::string, std::uint32_t, std::uint32_t,
+    std::tuple<std::string, std::string, std::uint32_t, std::uint32_t,
                std::uint32_t, bool, std::uint64_t, std::uint64_t,
                std::uint32_t, std::uint32_t, std::uint32_t,
                std::uint32_t>;
@@ -84,6 +85,7 @@ baselineKey(const SuiteEntry &entry, const DesignConfig &design,
             const RunBudget &budget, std::uint32_t cores)
 {
     return BaselineKey{entry.params.name,
+                       design.spec,
                        design.nbo,
                        design.nmit,
                        design.trefPeriodRefs,

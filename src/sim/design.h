@@ -38,6 +38,14 @@ struct DesignConfig
      * probability) from nbo via configureDefense.
      */
     std::string mitigation;
+
+    /**
+     * DRAM spec registry name (dram/dram_spec.h: "ddr5-8000b",
+     * "ddr5-4800-1r", ...).  Empty keeps the paper's DDR5-8000B
+     * configuration; scenarios expose it as a `spec` grid axis.
+     */
+    std::string spec;
+
     std::uint32_t nbo = 1024;       //!< NBO = NRH proxy (see DESIGN.md)
     std::uint32_t nmit = 1;         //!< PRAC level
     std::uint32_t trefPeriodRefs = 0;   //!< 0 = no TREF

@@ -6,17 +6,21 @@
  *   pracbench --scenario fig10_performance --jobs 4 --out results/fig10.json
  *   pracbench --scenario all --out results/ --csv results/
  *   pracbench --scenario fig13_nrh_sweep --set nrh=512,1024 --set measure=50000
+ *   pracbench --record-trace traces/ --workload h_rand_heavy
+ *   pracbench --replay traces/h_rand_heavy.trc --set mitigation=none,tprac
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/runner.h"
 #include "sim/scenario.h"
+#include "sim/trace_support.h"
 
 using namespace pracleak::sim;
 
@@ -42,6 +46,24 @@ printUsage()
         "unknown axes error)\n"
         "  --try-set AXIS=V1[,..] like --set, but skipped when the "
         "scenario has no such axis\n"
+        "  --record-trace DIR     record the memory-request stream "
+        "of each --workload\n"
+        "                         (default: the whole Table-4 suite) "
+        "into DIR/<name>.trc;\n"
+        "                         knobs via --set mitigation=/spec=/"
+        "nbo=/warmup=/measure=/\n"
+        "                         channels=/cores=\n"
+        "  --workload NAME        suite entry to record "
+        "(repeatable; with --record-trace)\n"
+        "  --replay FILE          replay a recorded trace against "
+        "fresh controller +\n"
+        "                         mitigation stacks; defenses via "
+        "--set mitigation=A,B\n"
+        "                         (default: the recorded defense)\n"
+        "  --verify               with --replay: exit non-zero "
+        "unless the same-defense\n"
+        "                         replay reproduces the recorded "
+        "stats bit-identically\n"
         "  --smoke                one-point sweep with a tiny budget: "
         "truncate every\n"
         "                         axis to its first value and shrink "
@@ -92,6 +114,35 @@ outputPath(const std::string &base, const std::string &scenario,
     return dir + scenario + extension;
 }
 
+/**
+ * Create the directory every emission under @p base will land in,
+ * *before* any sweep runs: a long sweep must not die at emission
+ * time on a missing or unwritable output location.
+ */
+bool
+prepareOutputDir(const std::string &base, const char *extension,
+                 bool single)
+{
+    if (base.empty())
+        return true;
+    std::filesystem::path dir(base);
+    if (single && endsWith(base, extension))
+        dir = dir.parent_path();
+    if (dir.empty())
+        return true;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec || !std::filesystem::is_directory(dir)) {
+        std::fprintf(stderr,
+                     "pracbench: cannot create output directory "
+                     "%s%s%s\n",
+                     dir.string().c_str(), ec ? ": " : "",
+                     ec ? ec.message().c_str() : "");
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -103,6 +154,10 @@ main(int argc, char **argv)
     SweepOptions options;
     std::string outJson;
     std::string outCsv;
+    std::string recordDir;
+    std::string replayPath;
+    std::vector<std::string> workloads;
+    bool verify = false;
     bool list = false;
     bool table = true;
     bool smoke = false;
@@ -141,6 +196,14 @@ main(int argc, char **argv)
                                           : options.softOverrides;
             target[spec.substr(0, eq)] =
                 parseValueList(spec.substr(eq + 1));
+        } else if (arg == "--record-trace") {
+            recordDir = next("--record-trace");
+        } else if (arg == "--workload" || arg == "-w") {
+            workloads.push_back(next("--workload"));
+        } else if (arg == "--replay") {
+            replayPath = next("--replay");
+        } else if (arg == "--verify") {
+            verify = true;
         } else if (arg == "--smoke") {
             smoke = true;
         } else if (arg == "--quiet" || arg == "-q") {
@@ -182,6 +245,110 @@ main(int argc, char **argv)
                 options.softOverrides[axis] = {value};
     }
 
+    if (!recordDir.empty() && !replayPath.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --record-trace and --replay are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+    if ((!recordDir.empty() || !replayPath.empty()) &&
+        !names.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --record-trace/--replay do not "
+                     "combine with --scenario\n");
+        return 2;
+    }
+    if (!workloads.empty() && recordDir.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --workload requires "
+                     "--record-trace\n");
+        return 2;
+    }
+    if (verify && replayPath.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --verify requires --replay\n");
+        return 2;
+    }
+
+    if (!recordDir.empty() || !replayPath.empty()) {
+        // Trace modes write .trc files / their own JSON; a scenario
+        // CSV destination would be silently dropped -- reject it.
+        if (!outCsv.empty()) {
+            std::fprintf(stderr,
+                         "pracbench: --csv does not apply to "
+                         "--record-trace/--replay\n");
+            return 2;
+        }
+    }
+
+    if (!recordDir.empty()) {
+        if (!outJson.empty()) {
+            std::fprintf(stderr,
+                         "pracbench: --record-trace writes "
+                         "DIR/<workload>.trc; --out does not "
+                         "apply\n");
+            return 2;
+        }
+        RecordCliOptions record;
+        record.dir = recordDir;
+        record.workloads = workloads;
+        record.progress = options.progress;
+        // Soft overrides (--try-set, --smoke shrink) apply only
+        // where record mode has such a knob; hard --set errors on
+        // unknown keys inside the command.
+        const char *known[] = {"mitigation", "spec",     "nbo",
+                               "nrh",        "warmup",   "measure",
+                               "channels",   "cores"};
+        for (const auto &[axis, values] : options.softOverrides)
+            for (const char *name : known)
+                if (axis == name)
+                    record.settings[axis] = values;
+        for (const auto &[axis, values] : options.overrides)
+            record.settings[axis] = values;
+        return runRecordTraceCommand(record);
+    }
+
+    if (!replayPath.empty()) {
+        ReplayCliOptions replay;
+        replay.tracePath = replayPath;
+        replay.verify = verify;
+        replay.outJson = outJson;
+        replay.table = table;
+        replay.progress = options.progress;
+        // Hard --set keeps its contract: anything replay cannot
+        // honour is an error, not a silent no-op (the stream is
+        // fixed; only the defense can vary).
+        for (const auto &[axis, values] : options.overrides) {
+            (void)values;
+            if (axis != "mitigation") {
+                std::fprintf(stderr,
+                             "pracbench: --replay supports only "
+                             "--set mitigation=... (the recorded "
+                             "stream pins every other knob)\n");
+                return 2;
+            }
+        }
+        for (const auto *set :
+             {&options.overrides, &options.softOverrides}) {
+            const auto it = set->find("mitigation");
+            if (it == set->end() || !replay.mitigations.empty())
+                continue;
+            for (const JsonValue &value : it->second)
+                replay.mitigations.push_back(value.asString());
+        }
+        // Replay writes outJson verbatim as one file; a directory
+        // form would only fail at emission time, after the sweep.
+        if (!outJson.empty() && !endsWith(outJson, ".json")) {
+            std::fprintf(stderr,
+                         "pracbench: --replay --out must be a .json "
+                         "file path\n");
+            return 2;
+        }
+        if (!prepareOutputDir(outJson, ".json", /*single=*/true))
+            return 2;
+        return runReplayCommand(replay);
+    }
+
     const ScenarioRegistry &registry = ScenarioRegistry::instance();
 
     if (list) {
@@ -215,6 +382,12 @@ main(int argc, char **argv)
                      "for --out/--csv, not a file path\n");
         return 2;
     }
+    // Fail fast on bad output locations: create them now rather
+    // than discovering a missing/unwritable directory at emission
+    // time, after a long sweep.
+    if (!prepareOutputDir(outJson, ".json", single) ||
+        !prepareOutputDir(outCsv, ".csv", single))
+        return 2;
     for (const std::string &name : names) {
         try {
             const SweepResult result =

@@ -1,0 +1,58 @@
+#include "sim/provenance.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pracleak::sim {
+
+const char *
+gitRevision()
+{
+#ifdef PRACLEAK_GIT_REV
+    return PRACLEAK_GIT_REV;
+#else
+    return "unknown";
+#endif
+}
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t hash = 0xCBF2'9CE4'8422'2325ULL;
+    for (const char c : bytes) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100'0000'01B3ULL;
+    }
+    return hash;
+}
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buffer;
+}
+
+std::string
+fileHashHex(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    return hashHex(fnv1a64(bytes));
+}
+
+JsonValue
+provenanceObject(const JsonValue &grid)
+{
+    JsonValue provenance = JsonValue::object();
+    provenance.set("git_rev", gitRevision());
+    provenance.set("grid_fnv1a64", hashHex(fnv1a64(grid.dump())));
+    return provenance;
+}
+
+} // namespace pracleak::sim

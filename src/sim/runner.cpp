@@ -1,5 +1,7 @@
 #include "sim/runner.h"
 
+#include "sim/provenance.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -104,6 +106,7 @@ SweepResult::toJson() const
     root.set("jobs", static_cast<std::int64_t>(jobs));
     root.set("points", static_cast<std::int64_t>(points));
     root.set("wall_seconds", wallSeconds);
+    root.set("provenance", provenanceObject(grid));
     root.set("grid", grid);
 
     JsonValue rowArray = JsonValue::array();

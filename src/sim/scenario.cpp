@@ -58,6 +58,7 @@ void registerCovertScenarios(ScenarioRegistry &registry);
 void registerAblationScenarios(ScenarioRegistry &registry);
 void registerMultichannelScenarios(ScenarioRegistry &registry);
 void registerDefenseScenarios(ScenarioRegistry &registry);
+void registerTraceScenarios(ScenarioRegistry &registry);
 
 void
 registerBuiltinScenarios()
@@ -72,6 +73,7 @@ registerBuiltinScenarios()
         registerAblationScenarios(registry);
         registerMultichannelScenarios(registry);
         registerDefenseScenarios(registry);
+        registerTraceScenarios(registry);
     });
 }
 

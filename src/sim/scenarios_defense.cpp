@@ -69,10 +69,11 @@ struct LeakRun
 };
 
 LeakRun
-runLeakExperiment(const std::string &defense, std::uint32_t nbo,
+runLeakExperiment(const std::string &defense,
+                  const std::string &spec_name, std::uint32_t nbo,
                   double phase_ms, int bursts)
 {
-    DramSpec spec = DramSpec::ddr5_8000b();
+    DramSpec spec = specByName(spec_name);
     spec.prac.nbo = nbo;
 
     ControllerConfig config;
@@ -158,12 +159,13 @@ maxLatency(const std::vector<LatencySample> &samples)
  * baselines in sim/design.cpp).
  */
 const LeakRun &
-quietRun(std::uint32_t nbo, double phase_ms, int bursts)
+quietRun(const std::string &spec_name, std::uint32_t nbo,
+         double phase_ms, int bursts)
 {
     static std::mutex mutex;
     static std::map<std::string, std::shared_future<LeakRun>> cache;
-    const std::string key = std::to_string(nbo) + "/" +
-                            std::to_string(phase_ms) + "/" +
+    const std::string key = spec_name + "/" + std::to_string(nbo) +
+                            "/" + std::to_string(phase_ms) + "/" +
                             std::to_string(bursts);
     std::shared_future<LeakRun> future;
     std::promise<LeakRun> promise;
@@ -181,8 +183,9 @@ quietRun(std::uint32_t nbo, double phase_ms, int bursts)
     }
     if (owner) {
         try {
-            promise.set_value(
-                runLeakExperiment("none", nbo, phase_ms, bursts));
+            promise.set_value(runLeakExperiment("none", spec_name,
+                                                nbo, phase_ms,
+                                                bursts));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
@@ -241,25 +244,29 @@ defenseMatrixLeakage()
                      "phase-uncorrelated, para and none show nothing "
                      "above noise";
     scenario.grid.axis("mitigation", defenseAxis())
+        .constant("spec", "ddr5-8000b")
         .constant("nbo", 256)
         .constant("window_ms", 0.25)    //!< one ON (or OFF) phase
         .constant("bursts", 8);
 
     scenario.runPoint = [](const ParamSet &params) {
         const std::string defense = params.getString("mitigation");
+        const std::string spec_name = params.getString("spec");
         const auto nbo =
             static_cast<std::uint32_t>(params.getInt("nbo"));
         const double phase_ms = params.getDouble("window_ms");
         const int bursts = static_cast<int>(params.getInt("bursts"));
 
-        const LeakRun &quiet = quietRun(nbo, phase_ms, bursts);
+        const LeakRun &quiet =
+            quietRun(spec_name, nbo, phase_ms, bursts);
         const Cycle near_ceiling = maxLatency(quiet.nearSamples);
         const Cycle far_ceiling = maxLatency(quiet.farSamples);
         const Cycle margin = nsToCycles(100);
         const LeakRun run =
             defense == "none"
                 ? quiet
-                : runLeakExperiment(defense, nbo, phase_ms, bursts);
+                : runLeakExperiment(defense, spec_name, nbo,
+                                    phase_ms, bursts);
 
         const PhaseSpikes near_spikes = countSpikes(
             run.nearSamples, near_ceiling + margin, run.onWindows);
@@ -325,6 +332,7 @@ defenseMatrixPerf()
                      "cost energy but no bus time";
     scenario.grid.axis("mitigation", defenseAxis())
         .axis("entry", toValues(suiteEntryNames()))
+        .constant("spec", "ddr5-8000b")
         .constant("nrh", 1024)
         .constant("warmup", 50'000)
         .constant("measure", 150'000);
@@ -333,6 +341,7 @@ defenseMatrixPerf()
         DesignConfig design;
         design.label = params.getString("mitigation");
         design.mitigation = design.label;
+        design.spec = params.getString("spec");
         design.nbo =
             static_cast<std::uint32_t>(params.getInt("nrh"));
 
@@ -429,6 +438,7 @@ defenseMatrixSecurity()
                      "probabilistic (see escape_prob)";
     scenario.grid.axis("mitigation", defenseAxis())
         .axis("attack", {"hammer", "feinting"})
+        .constant("spec", "ddr5-8000b")
         .constant("nbo", 512)
         .constant("window_ms", 4.0);    //!< total attack duration
 
@@ -440,7 +450,7 @@ defenseMatrixSecurity()
 
         // Scaled universe (2 ms tREFW) so the complete worst-case
         // attack finishes in a bench budget (see ablation_queues).
-        DramSpec spec = DramSpec::ddr5_8000b();
+        DramSpec spec = specByName(params.getString("spec"));
         spec.prac.nbo = nbo;
         spec.timing.tREFW = nsToCycles(2.0e6);
 

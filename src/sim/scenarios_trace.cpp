@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Trace record/replay scenarios.
+ *
+ * trace_replay_defense_sweep turns the O(workloads x defenses)
+ * full-simulation defense bake-off into O(workloads) simulations plus
+ * cheap replays: each Table-4 workload is simulated once with trace
+ * taps armed (under "none"), then the recorded request stream is
+ * replayed against every registered bake-off defense on a fresh
+ * controller + mitigation stack.  Both legs run per grid point so the
+ * emitted rows carry a measured wall-clock speedup, and the
+ * same-defense replay is checked bit-identical against the recording
+ * (the fidelity contract; cross-defense replays are the standard
+ * open-loop approximation).
+ */
+
+#include "sim/scenario.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "sim/design.h"
+#include "sim/scenario_util.h"
+#include "sim/trace_support.h"
+
+namespace pracleak::sim {
+
+namespace {
+
+/** The bake-off defense set (catalog order; see scenarios_defense). */
+const std::vector<std::string> &
+sweepDefenses()
+{
+    static const std::vector<std::string> defenses = {
+        "none",  "abo-only", "abo+acb-rfm", "tprac",
+        "para",  "graphene", "pb-rfm"};
+    return defenses;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Scenario
+traceReplayDefenseSweep()
+{
+    Scenario scenario;
+    scenario.name = "trace_replay_defense_sweep";
+    scenario.tags = {"trace", "defense", "perf"};
+    scenario.title =
+        "Trace record/replay: per-workload defense sweep via one "
+        "recorded simulation + cheap replays, vs the equivalent "
+        "full-simulation sweep";
+    scenario.notes =
+        "speedup = full-simulation sweep time / (record + replays): "
+        "both legs produce all 7 defense results -- the recorded run "
+        "IS the none-defense simulation, so the replay leg replays "
+        "only the other 6; the separately-run none replay must "
+        "reproduce the recorded controller stats bit-identically, "
+        "cross-defense replays are open-loop approximations (the "
+        "stream cannot react to added maintenance back-pressure)";
+    scenario.grid.axis("entry", toValues(suiteEntryNames()))
+        .constant("spec", "ddr5-8000b")
+        .constant("nbo", 1024)
+        .constant("warmup", 20'000)
+        .constant("measure", 60'000);
+
+    scenario.runPoint = [](const ParamSet &params) {
+        const SuiteEntry &entry =
+            findSuiteEntry(params.getString("entry"));
+
+        DesignConfig design;
+        design.spec = params.getString("spec");
+        design.nbo =
+            static_cast<std::uint32_t>(params.getInt("nbo"));
+        RunBudget budget;
+        budget.warmup =
+            static_cast<std::uint64_t>(params.getInt("warmup"));
+        budget.measure =
+            static_cast<std::uint64_t>(params.getInt("measure"));
+
+        // Leg 1: the conventional sweep -- one full simulation per
+        // defense.  Keep the results for the fidelity columns.
+        const auto full_start = std::chrono::steady_clock::now();
+        std::vector<RunResult> full_runs;
+        full_runs.reserve(sweepDefenses().size());
+        for (const std::string &defense : sweepDefenses()) {
+            DesignConfig per_defense = design;
+            per_defense.label = defense;
+            per_defense.mitigation = defense;
+            full_runs.push_back(runOne(entry, per_defense, budget));
+        }
+        const double full_seconds = secondsSince(full_start);
+
+        // Leg 2: record once (under "none" -- that simulation IS the
+        // none-defense sweep point), replay the other defenses.
+        const auto replay_start = std::chrono::steady_clock::now();
+        DesignConfig record_design = design;
+        record_design.label = "none";
+        record_design.mitigation = "none";
+        const RecordedRun recorded =
+            recordSuiteRun(entry, record_design, budget);
+        std::vector<trace::ReplayResult> replays;
+        replays.reserve(sweepDefenses().size());
+        for (const std::string &defense : sweepDefenses()) {
+            if (defense == "none") {
+                // Placeholder; replaced by the fidelity replay below
+                // (outside the timed leg -- it validates, it does not
+                // produce new sweep data).
+                replays.emplace_back();
+                continue;
+            }
+            trace::ReplayOptions options;
+            options.mitigation = defense;
+            replays.push_back(
+                trace::replayTrace(recorded.trace, options));
+        }
+        const double replay_seconds = secondsSince(replay_start);
+
+        // Fidelity contract, untimed: a same-defense replay must be
+        // bit-identical to the recording.
+        {
+            trace::ReplayOptions options;
+            options.mitigation = "none";
+            for (std::size_t i = 0; i < sweepDefenses().size(); ++i)
+                if (sweepDefenses()[i] == "none")
+                    replays[i] =
+                        trace::replayTrace(recorded.trace, options);
+        }
+
+        const double speedup =
+            replay_seconds > 0.0 ? full_seconds / replay_seconds
+                                 : 0.0;
+
+        std::vector<ResultRow> rows;
+        for (std::size_t i = 0; i < sweepDefenses().size(); ++i) {
+            const RunResult &sim = full_runs[i];
+            const trace::ReplayResult &replay = replays[i];
+            const trace::TraceChannelStats total = replay.total();
+
+            ResultRow row = JsonValue::object();
+            row.set("mitigation", sweepDefenses()[i]);
+            // Fidelity columns: cumulative RFM/alert telemetry of
+            // the full simulation vs the open-loop replay.
+            row.set("sim_rfms", sim.aboRfms + sim.acbRfms +
+                                    sim.tbRfms + sim.grapheneRfms +
+                                    sim.pbRfms);
+            std::uint64_t replay_rfms = 0;
+            for (const std::uint64_t rfms : total.rfms)
+                replay_rfms += rfms;
+            row.set("replay_rfms", replay_rfms);
+            row.set("sim_alerts", sim.alerts);
+            row.set("replay_alerts", total.alerts);
+            row.set("sim_mitigation_events", sim.mitigationEvents);
+            row.set("replay_mitigation_events",
+                    total.mitigationEvents);
+            row.set("replay_max_counter", total.maxCounterSeen);
+            row.set("fully_drained", replay.fullyDrained);
+            if (sweepDefenses()[i] == "none")
+                row.set("bit_identical",
+                        replay.matchesRecorded(recorded.trace));
+            row.set("full_seconds", full_seconds);
+            row.set("replay_seconds", replay_seconds);
+            row.set("speedup", speedup);
+            rows.push_back(std::move(row));
+        }
+        return rows;
+    };
+
+    scenario.summarize = [](const std::vector<ResultRow> &rows) {
+        double full = 0.0, replay = 0.0;
+        double min_speedup = 0.0;
+        std::int64_t entries = 0;
+        bool identical = true;
+        std::string last_entry;
+        for (const ResultRow &row : rows) {
+            const std::string entry = row.get("entry")->asString();
+            if (entry != last_entry) {
+                last_entry = entry;
+                ++entries;
+                full += row.get("full_seconds")->asDouble();
+                replay += row.get("replay_seconds")->asDouble();
+                const double speedup =
+                    row.get("speedup")->asDouble();
+                if (entries == 1 || speedup < min_speedup)
+                    min_speedup = speedup;
+            }
+            if (const JsonValue *bit = row.get("bit_identical"))
+                identical = identical && bit->asBool();
+        }
+        ResultRow summary = JsonValue::object();
+        summary.set("workloads", entries);
+        summary.set("full_sweep_seconds", full);
+        summary.set("record_replay_seconds", replay);
+        summary.set("speedup",
+                    replay > 0.0 ? full / replay : 0.0);
+        summary.set("min_point_speedup", min_speedup);
+        summary.set("all_bit_identical", identical);
+        return std::vector<ResultRow>{std::move(summary)};
+    };
+    return scenario;
+}
+
+} // namespace
+
+void
+registerTraceScenarios(ScenarioRegistry &registry)
+{
+    registry.add(traceReplayDefenseSweep());
+}
+
+} // namespace pracleak::sim

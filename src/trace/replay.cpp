@@ -1,0 +1,166 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "cpu/replay_core.h"
+#include "mitigation/registry.h"
+#include "trace/recorder.h"
+
+namespace pracleak::trace {
+
+TraceChannelStats
+ReplayResult::total() const
+{
+    TraceChannelStats sum;
+    for (const TraceChannelStats &channel : channels) {
+        sum.requests += channel.requests;
+        sum.acts += channel.acts;
+        sum.reads += channel.reads;
+        sum.writes += channel.writes;
+        sum.refreshes += channel.refreshes;
+        for (std::size_t i = 0; i < kRfmReasonCount; ++i)
+            sum.rfms[i] += channel.rfms[i];
+        sum.alerts += channel.alerts;
+        sum.mitigationEvents += channel.mitigationEvents;
+        sum.mitigatedRows += channel.mitigatedRows;
+        sum.maxCounterSeen =
+            std::max(sum.maxCounterSeen, channel.maxCounterSeen);
+    }
+    return sum;
+}
+
+bool
+ReplayResult::matchesRecorded(const TraceData &trace) const
+{
+    if (channels.size() != trace.channels.size())
+        return false;
+    for (std::size_t c = 0; c < channels.size(); ++c)
+        if (!(channels[c] == trace.channels[c].stats))
+            return false;
+    return true;
+}
+
+DramSpec
+specFromHeader(const TraceHeader &header)
+{
+    DramSpec spec = specByName(header.spec);
+    if (spec.org.ranks != header.ranks ||
+        spec.org.bankGroups != header.bankGroups ||
+        spec.org.banksPerGroup != header.banksPerGroup ||
+        spec.org.rowsPerBank != header.rowsPerBank ||
+        spec.org.colsPerRow != header.colsPerRow)
+        throw std::runtime_error(
+            "trace geometry mismatch: spec '" + header.spec +
+            "' no longer matches the recorded organization "
+            "(re-record the trace against the current registry)");
+    spec.prac.nbo = header.nbo;
+    spec.prac.nmit = header.nmit;
+    return spec;
+}
+
+ControllerConfig
+configFromHeader(const TraceHeader &header,
+                 const std::string &mitigation, const DramSpec &spec)
+{
+    ControllerConfig config;
+    config.mapping = static_cast<MappingScheme>(header.mapping);
+    config.interleave.channels = header.channels;
+    config.interleave.granularityBytes = header.granularityBytes;
+    config.interleave.xorFold = header.xorFold;
+    config.queueCapacity = header.queueCapacity;
+    config.frfcfsCap = header.frfcfsCap;
+    config.refreshEnabled = header.refreshEnabled;
+    config.prac.queue = static_cast<QueueKind>(header.pracQueue);
+    config.prac.fifoThreshold = header.fifoThreshold;
+    config.prac.counterResetAtTrefw = header.counterResetAtTrefw;
+    config.prac.trefPeriodRefs = header.trefPeriodRefs;
+    config.randomRfmPerTrefi = header.randomRfmPerTrefi;
+    config.obfuscationSeed = header.obfuscationSeed;
+    configureDefense(config, mitigation, spec,
+                     header.trefPeriodRefs != 0);
+    return config;
+}
+
+ReplayResult
+replayTrace(const TraceData &trace, const ReplayOptions &options)
+{
+    const TraceHeader &header = trace.header;
+    if (trace.channels.empty() ||
+        trace.channels.size() != header.channels)
+        throw std::runtime_error(
+            "trace has no usable channel streams");
+    const std::string mitigation = options.mitigation.empty()
+                                       ? header.mitigation
+                                       : options.mitigation;
+
+    const DramSpec spec = specFromHeader(header);
+    ControllerConfig config =
+        configFromHeader(header, mitigation, spec);
+
+    std::vector<std::unique_ptr<MemoryController>> mems;
+    mems.reserve(header.channels);
+    for (std::uint32_t c = 0; c < header.channels; ++c) {
+        config.channelIndex = c;
+        mems.push_back(
+            std::make_unique<MemoryController>(spec, config));
+    }
+
+    std::vector<ReplayCore> cores;
+    cores.reserve(header.channels);
+    for (std::uint32_t c = 0; c < header.channels; ++c)
+        cores.emplace_back(*mems[c], trace.channels[c].records);
+
+    const Cycle end = header.endCycle;
+    while (mems[0]->now() < end) {
+        const Cycle current = mems[0]->now();
+        if (options.fastForward) {
+            // Same contract as System::maybeFastForward: when every
+            // core's next record and every controller's next event
+            // lie strictly ahead, the cycles between are dead.  The
+            // cores are checked first -- their bound is one
+            // comparison, the controllers' is a queue scan.
+            Cycle wake = end;
+            bool idle = true;
+            for (const ReplayCore &core : cores) {
+                const Cycle at = core.nextEventAt();
+                idle = idle && at > current;
+                wake = std::min(wake, at);
+            }
+            for (const auto &mem : mems) {
+                if (!idle)
+                    break;
+                const Cycle at = mem->nextWorkAt();
+                idle = idle && at > current;
+                wake = std::min(wake, at);
+            }
+            wake = std::min(wake, end);
+            if (idle && wake > current)
+                for (auto &mem : mems)
+                    mem->skipTo(wake);
+        }
+        const Cycle now = mems[0]->now();
+        if (now >= end)
+            break;
+        for (ReplayCore &core : cores)
+            core.tick(now);
+        for (auto &mem : mems)
+            mem->tick();
+    }
+
+    ReplayResult result;
+    result.mitigation = mitigation;
+    result.endCycle = mems[0]->now();
+    result.channels.reserve(header.channels);
+    for (std::uint32_t c = 0; c < header.channels; ++c) {
+        TraceChannelStats stats = snapshotChannelStats(*mems[c]);
+        stats.requests = cores[c].replayed();
+        result.channels.push_back(stats);
+        result.replayedRequests += cores[c].replayed();
+        result.fullyDrained = result.fullyDrained && cores[c].done();
+    }
+    return result;
+}
+
+} // namespace pracleak::trace
