@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Diff two pracbench sweep JSON files modulo nondeterminism.
+
+A checkpointed-and-resumed sweep must emit exactly what an
+uninterrupted run emits, except for the two fields that track
+wall-clock time: the top-level "wall_seconds" and the provenance
+"generated_at" timestamp.  Everything else -- rows, summary, grid,
+git revision, grid hash, jobs, point count -- must match key for key.
+
+Usage: diff_sweep_json.py A.json B.json
+Exits 0 when equivalent, 1 (with a field-level report) when not.
+"""
+
+import json
+import sys
+
+STRIPPED_TOP_LEVEL = ("wall_seconds",)
+STRIPPED_PROVENANCE = ("generated_at",)
+
+
+def canonical(path):
+    with open(path) as handle:
+        document = json.load(handle)
+    for field in STRIPPED_TOP_LEVEL:
+        document.pop(field, None)
+    for field in STRIPPED_PROVENANCE:
+        document.get("provenance", {}).pop(field, None)
+    return document
+
+
+def report(a, b, path="$"):
+    """Print the first few places two documents diverge."""
+    if type(a) is not type(b):
+        print(f"  {path}: {type(a).__name__} vs {type(b).__name__}")
+        return 1
+    if isinstance(a, dict):
+        shown = 0
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                shown += report(a.get(key), b.get(key),
+                                f"{path}.{key}")
+                if shown >= 5:
+                    break
+        return shown
+    if isinstance(a, list):
+        if len(a) != len(b):
+            print(f"  {path}: {len(a)} vs {len(b)} elements")
+            return 1
+        shown = 0
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                shown += report(x, y, f"{path}[{i}]")
+                if shown >= 5:
+                    break
+        return shown
+    print(f"  {path}: {a!r} vs {b!r}")
+    return 1
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    a, b = map(canonical, sys.argv[1:3])
+    if a == b:
+        print(f"equivalent: {sys.argv[1]} == {sys.argv[2]} "
+              f"(modulo {', '.join(STRIPPED_TOP_LEVEL + STRIPPED_PROVENANCE)})")
+        return 0
+    print(f"MISMATCH between {sys.argv[1]} and {sys.argv[2]}:")
+    report(a, b)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

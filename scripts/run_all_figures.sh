@@ -11,6 +11,10 @@
 # A quick smoke pass over the expensive perf sweeps (--try-set only
 # applies where a scenario declares the axis):
 #   PRACBENCH_ARGS="--try-set measure=50000" scripts/run_all_figures.sh
+# Resumable runs: set CHECKPOINT_DIR to journal every sweep point
+# under it (one DIR/<scenario>.jsonl per scenario) and pick up where
+# a killed run left off:
+#   CHECKPOINT_DIR=ckpt scripts/run_all_figures.sh
 
 set -euo pipefail
 
@@ -25,6 +29,12 @@ if [[ ! -x "${PRACBENCH}" ]]; then
 fi
 
 mkdir -p "${OUT_DIR}"
+
+# --resume is safe with a fresh directory (a missing journal is a
+# fresh start) and turns any rerun into a continuation.
+CHECKPOINT=()
+[[ -n "${CHECKPOINT_DIR:-}" ]] &&
+    CHECKPOINT=(--checkpoint "${CHECKPOINT_DIR}" --resume)
 
 # --list prints one header line, then per scenario a summary line
 # plus an indented one-line description; keep the summary lines only.
@@ -43,6 +53,7 @@ for scenario in "${SCENARIOS[@]}"; do
     # EXTRA comes last so the forced --jobs 1 beats PRACBENCH_ARGS)
     "${PRACBENCH}" --scenario "${scenario}" --quiet --no-table \
         --out "${OUT_DIR}/" --csv "${OUT_DIR}/" \
+        ${CHECKPOINT[@]+"${CHECKPOINT[@]}"} \
         ${PRACBENCH_ARGS:-} ${EXTRA[@]+"${EXTRA[@]}"}
 done
 

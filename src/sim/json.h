@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -86,11 +87,21 @@ class JsonValue
     /** Serialize; indent == 0 gives a compact single line. */
     std::string dump(int indent = 0) const;
 
+    /**
+     * Compact dump whose doubles round-trip exactly (%.17g instead
+     * of the display-friendly %.10g): strtod of the emitted text
+     * recovers the bit-identical value.  The checkpoint journal uses
+     * this so resumed rows are indistinguishable from freshly
+     * computed ones.  (NaN still emits null -- it has no literal.)
+     */
+    std::string dumpRoundTrip() const;
+
     /** Equality over scalars (used by axis-override matching). */
     bool scalarEquals(const JsonValue &other) const;
 
   private:
-    void dumpTo(std::string &out, int indent, int depth) const;
+    void dumpTo(std::string &out, int indent, int depth,
+                bool exactDoubles = false) const;
 
     Kind kind_ = Kind::Null;
     bool bool_ = false;
@@ -109,6 +120,17 @@ std::string jsonEscape(const std::string &raw);
  * doubles, else a plain string.
  */
 JsonValue parseScalar(const std::string &text);
+
+/**
+ * Parse a complete JSON document (the checkpoint journal reads its
+ * own records back with this).  Strict: one value, optionally
+ * surrounded by whitespace; trailing bytes are an error.  On failure
+ * returns Null and sets @p error to a message with a byte offset;
+ * on success clears @p error.  (A document consisting of the literal
+ * `null` also returns Null -- callers that must distinguish check
+ * @p error.)
+ */
+JsonValue parseJson(std::string_view text, std::string *error = nullptr);
 
 } // namespace pracleak::sim
 

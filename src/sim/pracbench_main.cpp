@@ -6,6 +6,7 @@
  *   pracbench --scenario fig10_performance --jobs 4 --out results/fig10.json
  *   pracbench --scenario all --out results/ --csv results/
  *   pracbench --scenario fig13_nrh_sweep --set nrh=512,1024 --set measure=50000
+ *   pracbench --scenario defense_matrix_perf --checkpoint ckpt/ --resume
  *   pracbench --record-trace traces/ --workload h_rand_heavy
  *   pracbench --replay traces/h_rand_heavy.trc --set mitigation=none,tprac
  */
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
 #include "sim/trace_support.h"
@@ -42,6 +44,19 @@ printUsage()
         "                         scenario, else a directory "
         "(NAME.json per scenario)\n"
         "  --csv PATH             same for CSV output\n"
+        "  --checkpoint DIR       journal each completed sweep point "
+        "to\n"
+        "                         DIR/<scenario>.jsonl as workers "
+        "finish (overwrites\n"
+        "                         an existing journal unless "
+        "--resume is given)\n"
+        "  --resume               with --checkpoint: skip points "
+        "already journaled by\n"
+        "                         an earlier (killed) run and merge "
+        "their rows back in;\n"
+        "                         refuses journals from a different "
+        "scenario, grid, or\n"
+        "                         git revision\n"
         "  --set AXIS=V1[,V2...]  override a grid axis (repeatable; "
         "unknown axes error)\n"
         "  --try-set AXIS=V1[,..] like --set, but skipped when the "
@@ -154,6 +169,8 @@ main(int argc, char **argv)
     SweepOptions options;
     std::string outJson;
     std::string outCsv;
+    std::string checkpointDir;
+    bool resume = false;
     std::string recordDir;
     std::string replayPath;
     std::vector<std::string> workloads;
@@ -183,6 +200,10 @@ main(int argc, char **argv)
             outJson = next("--out");
         } else if (arg == "--csv") {
             outCsv = next("--csv");
+        } else if (arg == "--checkpoint") {
+            checkpointDir = next("--checkpoint");
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (arg == "--set" || arg == "--try-set") {
             const std::string spec = next(arg.c_str());
             const std::size_t eq = spec.find('=');
@@ -267,6 +288,18 @@ main(int argc, char **argv)
     if (verify && replayPath.empty()) {
         std::fprintf(stderr,
                      "pracbench: --verify requires --replay\n");
+        return 2;
+    }
+    if (resume && checkpointDir.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --resume requires --checkpoint\n");
+        return 2;
+    }
+    if (!checkpointDir.empty() &&
+        (!recordDir.empty() || !replayPath.empty())) {
+        std::fprintf(stderr,
+                     "pracbench: --checkpoint applies to scenario "
+                     "sweeps, not --record-trace/--replay\n");
         return 2;
     }
 
@@ -384,20 +417,30 @@ main(int argc, char **argv)
     }
     // Fail fast on bad output locations: create them now rather
     // than discovering a missing/unwritable directory at emission
-    // time, after a long sweep.
+    // time, after a long sweep.  (--checkpoint DIR is always a
+    // directory; the journal is DIR/<scenario>.jsonl.)
     if (!prepareOutputDir(outJson, ".json", single) ||
-        !prepareOutputDir(outCsv, ".csv", single))
+        !prepareOutputDir(outCsv, ".csv", single) ||
+        !prepareOutputDir(checkpointDir, ".jsonl", /*single=*/false))
         return 2;
+    options.resume = resume;
     for (const std::string &name : names) {
         try {
+            if (!checkpointDir.empty())
+                options.checkpointPath =
+                    journalPath(checkpointDir, name);
             const SweepResult result =
                 runScenarioByName(name, options);
             if (table)
                 printTables(result);
+            // Finalize via temp + atomic rename: a crash during
+            // emission must never leave a torn artifact that a
+            // later --resume (or a results consumer) trusts.
             if (!outJson.empty()) {
                 const std::string path =
                     outputPath(outJson, name, ".json", single);
-                if (!writeFile(path, result.toJson().dump(2) + "\n"))
+                if (!writeFileAtomic(path,
+                                     result.toJson().dump(2) + "\n"))
                     return 1;
                 std::fprintf(stderr, "pracbench: wrote %s\n",
                              path.c_str());
@@ -405,7 +448,7 @@ main(int argc, char **argv)
             if (!outCsv.empty()) {
                 const std::string path =
                     outputPath(outCsv, name, ".csv", single);
-                if (!writeFile(path, result.toCsv()))
+                if (!writeFileAtomic(path, result.toCsv()))
                     return 1;
                 std::fprintf(stderr, "pracbench: wrote %s\n",
                              path.c_str());

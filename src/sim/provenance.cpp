@@ -1,6 +1,7 @@
 #include "sim/provenance.h"
 
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 
 namespace pracleak::sim {
@@ -46,12 +47,30 @@ fileHashHex(const std::string &path)
     return hashHex(fnv1a64(bytes));
 }
 
+std::string
+gridHashHex(const JsonValue &grid)
+{
+    return hashHex(fnv1a64(grid.dump()));
+}
+
+std::string
+utcTimestamp()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buffer[32];
+    std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buffer;
+}
+
 JsonValue
 provenanceObject(const JsonValue &grid)
 {
     JsonValue provenance = JsonValue::object();
     provenance.set("git_rev", gitRevision());
-    provenance.set("grid_fnv1a64", hashHex(fnv1a64(grid.dump())));
+    provenance.set("grid_fnv1a64", gridHashHex(grid));
+    provenance.set("generated_at", utcTimestamp());
     return provenance;
 }
 

@@ -42,8 +42,22 @@ std::string hashHex(std::uint64_t hash);
 std::string fileHashHex(const std::string &path);
 
 /**
+ * Hash of an effective parameter grid (FNV-1a over its compact
+ * dump), as stamped into provenance objects and checkpoint-journal
+ * headers: the identity a resume is validated against.
+ */
+std::string gridHashHex(const JsonValue &grid);
+
+/** Current UTC wall-clock time as "YYYY-MM-DDTHH:MM:SSZ". */
+std::string utcTimestamp();
+
+/**
  * The provenance object stamped into SweepResult::toJson():
- * {"git_rev", "grid_fnv1a64"} computed over the effective grid.
+ * {"git_rev", "grid_fnv1a64", "generated_at"} computed over the
+ * effective grid.  generated_at is the only non-deterministic field
+ * an emission carries besides wall_seconds; equivalence checks
+ * (golden resume tests, the CI resume-smoke diff) strip exactly
+ * those two.
  */
 JsonValue provenanceObject(const JsonValue &grid);
 

@@ -1,5 +1,6 @@
 #include "sim/runner.h"
 
+#include "sim/checkpoint.h"
 #include "sim/provenance.h"
 
 #include <atomic>
@@ -7,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
@@ -152,18 +154,59 @@ runScenario(const Scenario &scenario, const SweepOptions &options)
     result.jobs = pool.threadCount();
     result.points = n;
 
+    // Checkpointing: recover already-journaled points, then journal
+    // each newly completed one as workers finish.  Both the restored
+    // rows and the live ones land in a per-point slot, so the merged
+    // output is ordered by grid index -- independent of --jobs, kill
+    // timing, and completion order.
+    CheckpointState restored;
+    std::unique_ptr<JournalWriter> journal;
+    if (!options.checkpointPath.empty()) {
+        if (options.resume)
+            restored = loadJournal(options.checkpointPath,
+                                   scenario.name, result.grid, n);
+        journal = std::make_unique<JournalWriter>(
+            options.checkpointPath,
+            journalHeader(scenario.name, result.grid, n),
+            restored.hasHeader, restored.validBytes,
+            scenario.checkpointEvery);
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> completed{restored.rowsByPoint.size()};
     std::mutex printMutex;
 
-    std::vector<std::function<std::vector<ResultRow>()>> jobs;
-    jobs.reserve(n);
+    std::vector<std::vector<ResultRow>> rowsPerPoint(n);
+    std::vector<std::size_t> pendingPoints;
+    pendingPoints.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
+        const auto it = restored.rowsByPoint.find(i);
+        if (it == restored.rowsByPoint.end())
+            pendingPoints.push_back(i);
+        else
+            rowsPerPoint[i] = std::move(it->second);
+    }
+    if (options.progress && !restored.rowsByPoint.empty())
+        std::fprintf(stderr,
+                     "[%3zu/%zu] %s resumed from checkpoint%s\n",
+                     restored.rowsByPoint.size(), n,
+                     scenario.name.c_str(),
+                     restored.droppedTornTail
+                         ? " (torn final record re-run)"
+                         : "");
+
+    std::vector<std::function<std::vector<ResultRow>()>> jobs;
+    jobs.reserve(pendingPoints.size());
+    for (const std::size_t i : pendingPoints) {
         jobs.push_back([&, i] {
             const ParamSet params = grid.point(i);
             std::vector<ResultRow> rows = scenario.runPoint(params);
             for (ResultRow &row : rows)
                 row = mergeParams(params, std::move(row));
+            // Journal before reporting done: a kill after the
+            // progress line can never lose an unjournaled point.
+            if (journal)
+                journal->writePoint(i, rows);
             const std::size_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
             if (options.progress) {
@@ -175,7 +218,12 @@ runScenario(const Scenario &scenario, const SweepOptions &options)
             return rows;
         });
     }
-    auto rowsPerPoint = pool.map(std::move(jobs));
+    auto rowsPerJob = pool.map(std::move(jobs));
+    for (std::size_t k = 0; k < pendingPoints.size(); ++k)
+        rowsPerPoint[pendingPoints[k]] = std::move(rowsPerJob[k]);
+
+    if (journal)
+        journal->flush();
 
     for (auto &rows : rowsPerPoint)
         for (ResultRow &row : rows)
@@ -281,6 +329,26 @@ writeFile(const std::string &path, const std::string &contents)
     out << contents;
     out.close();
     return out.good();
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    // The temporary lives next to the target so the rename stays on
+    // one filesystem (and therefore atomic).
+    const std::string temporary = path + ".tmp";
+    if (!writeFile(temporary, contents))
+        return false;
+    std::error_code ec;
+    std::filesystem::rename(temporary, path, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "pracbench: cannot finalize %s: %s\n",
+                     path.c_str(), ec.message().c_str());
+        std::filesystem::remove(temporary, ec);
+        return false;
+    }
+    return true;
 }
 
 } // namespace pracleak::sim

@@ -42,6 +42,23 @@ struct SweepOptions
      * scenario end-to-end as cheaply as possible.
      */
     bool firstPointOnly = false;
+
+    /**
+     * Journal each completed point to this append-only JSONL file
+     * (sim/checkpoint.h) as workers finish; "" disables.  Without
+     * `resume` an existing journal is overwritten.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Load an existing journal at checkpointPath, skip its completed
+     * points, and merge their rows back in -- the final result is
+     * byte-identical (modulo wall_seconds and the provenance
+     * timestamp) to an uninterrupted run.  Throws std::runtime_error
+     * when the journal belongs to a different sweep (scenario, grid
+     * hash, git revision).  A missing journal is a fresh start.
+     */
+    bool resume = false;
 };
 
 /** Everything a sweep produced. */
@@ -86,6 +103,15 @@ void runAndPrint(const std::string &name);
  * Returns false (and prints to stderr) on I/O failure.
  */
 bool writeFile(const std::string &path, const std::string &contents);
+
+/**
+ * writeFile via a same-directory temporary plus atomic rename: a
+ * crash mid-emission leaves either the previous artifact or the new
+ * one, never a torn file -- required for anything a later --resume
+ * (or a results consumer) will trust.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &contents);
 
 /** Render rows as CSV (union of keys, first-seen column order). */
 std::string rowsToCsv(const std::vector<ResultRow> &rows);

@@ -234,6 +234,8 @@ defenseMatrixLeakage()
 {
     Scenario scenario;
     scenario.name = "defense_matrix_leakage";
+    // Minutes-per-point sweep: checkpoint every finished point.
+    scenario.checkpointEvery = 1;
     scenario.tags = {"defense", "attack"};
     scenario.title = "Defense bake-off: RFM-latency leakage of every "
                      "registered mitigation (ON/OFF victim bursts, "
@@ -323,6 +325,8 @@ defenseMatrixPerf()
 {
     Scenario scenario;
     scenario.name = "defense_matrix_perf";
+    // Minutes-per-point sweep: checkpoint every finished point.
+    scenario.checkpointEvery = 1;
     scenario.tags = {"defense", "perf", "energy"};
     scenario.title = "Defense bake-off: normalized performance and "
                      "energy of every registered mitigation over the "
@@ -427,6 +431,8 @@ defenseMatrixSecurity()
 {
     Scenario scenario;
     scenario.name = "defense_matrix_security";
+    // Minutes-per-point sweep: checkpoint every finished point.
+    scenario.checkpointEvery = 1;
     scenario.tags = {"defense", "security"};
     scenario.title = "Defense bake-off: Feinting stress attack vs "
                      "every registered mitigation (scaled 2 ms "

@@ -51,6 +51,8 @@ traceReplayDefenseSweep()
 {
     Scenario scenario;
     scenario.name = "trace_replay_defense_sweep";
+    // Minutes-per-point sweep: checkpoint every finished point.
+    scenario.checkpointEvery = 1;
     scenario.tags = {"trace", "defense", "perf"};
     scenario.title =
         "Trace record/replay: per-workload defense sweep via one "

@@ -152,7 +152,7 @@ runRecordTraceCommand(const RecordCliOptions &options)
                     .string();
             const std::string image =
                 trace::serializeTrace(recorded.trace);
-            if (!writeFile(path, image))
+            if (!writeFileAtomic(path, image))
                 return 1;
             if (options.progress) {
                 std::uint64_t requests = 0;
@@ -252,7 +252,8 @@ runReplayCommand(const ReplayCliOptions &options)
             root.set("recorded_mitigation",
                      trace.header.mitigation);
             root.set("spec", trace.header.spec);
-            if (!writeFile(options.outJson, root.dump(2) + "\n"))
+            if (!writeFileAtomic(options.outJson,
+                                 root.dump(2) + "\n"))
                 return 1;
             std::fprintf(stderr, "pracbench: wrote %s\n",
                          options.outJson.c_str());
