@@ -20,8 +20,11 @@ BM_TpracPbRun(benchmark::State &state)
 {
     const SuiteEntry entry =
         findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
-    DesignConfig design{"tprac-pb", MitigationMode::Tprac, 512, 1, 0,
-                        true, true};
+    DesignConfig design;
+    design.label = "tprac-pb";
+    design.mode = MitigationMode::Tprac;
+    design.nbo = 512;
+    design.perBankRfm = true;
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

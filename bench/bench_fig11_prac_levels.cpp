@@ -18,9 +18,11 @@ void
 BM_PracLevelRun(benchmark::State &state)
 {
     const SuiteEntry entry = standardSuite().front();
-    const DesignConfig design{
-        "tprac", MitigationMode::Tprac, 1024,
-        static_cast<std::uint32_t>(state.range(0)), 0, true, false};
+    DesignConfig design;
+    design.label = "tprac";
+    design.mode = MitigationMode::Tprac;
+    design.nbo = 1024;
+    design.nmit = static_cast<std::uint32_t>(state.range(0));
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

@@ -20,9 +20,11 @@ BM_TrefRun(benchmark::State &state)
 {
     const SuiteEntry entry =
         findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
-    const DesignConfig design{
-        "tprac", MitigationMode::Tprac, 1024, 1,
-        static_cast<std::uint32_t>(state.range(0)), true, false};
+    DesignConfig design;
+    design.label = "tprac";
+    design.mode = MitigationMode::Tprac;
+    design.nbo = 1024;
+    design.trefPeriodRefs = static_cast<std::uint32_t>(state.range(0));
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

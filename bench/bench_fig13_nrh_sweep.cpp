@@ -20,9 +20,10 @@ BM_NrhRun(benchmark::State &state)
 {
     const SuiteEntry entry =
         findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
-    const DesignConfig design{
-        "tprac", MitigationMode::Tprac,
-        static_cast<std::uint32_t>(state.range(0)), 1, 0, true, false};
+    DesignConfig design;
+    design.label = "tprac";
+    design.mode = MitigationMode::Tprac;
+    design.nbo = static_cast<std::uint32_t>(state.range(0));
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

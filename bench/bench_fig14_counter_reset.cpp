@@ -19,8 +19,11 @@ BM_NoResetRun(benchmark::State &state)
 {
     const SuiteEntry entry =
         findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
-    const DesignConfig design{"tprac-noreset", MitigationMode::Tprac,
-                              256, 1, 0, false, false};
+    DesignConfig design;
+    design.label = "tprac-noreset";
+    design.mode = MitigationMode::Tprac;
+    design.nbo = 256;
+    design.counterReset = false;
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

@@ -18,9 +18,9 @@ void
 BM_RbmpkiMeasurement(benchmark::State &state)
 {
     const SuiteEntry entry = standardSuite().front();
-    const DesignConfig baseline{"baseline",
-                                MitigationMode::NoMitigation, 1024, 1,
-                                0, true, false};
+    DesignConfig baseline;
+    baseline.label = "baseline";
+    baseline.nbo = 1024;
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

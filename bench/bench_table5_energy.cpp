@@ -19,8 +19,10 @@ BM_EnergyAccounting(benchmark::State &state)
 {
     const SuiteEntry entry =
         findSuiteEntry(suiteEntryNames(MemIntensity::High).front());
-    const DesignConfig design{"tprac", MitigationMode::Tprac, 1024, 1,
-                              0, true, false};
+    DesignConfig design;
+    design.label = "tprac";
+    design.mode = MitigationMode::Tprac;
+    design.nbo = 1024;
     RunBudget budget;
     budget.warmup = 10'000;
     budget.measure = 50'000;

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# CLI contract smoke: the subcommand form and the deprecated flat-flag
+# form of every migrated verb produce identical results, and unknown
+# subcommands / flags / scenarios are rejected with exit 2 plus a
+# "did you mean" hint instead of being silently ignored.
+#
+# Usage: scripts/cli_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  where pracbench lives (default: build)
+#   OUT_DIR    scratch space (default: results/cli_smoke)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results/cli_smoke}"
+PRACBENCH="${BUILD_DIR}/pracbench"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+if [[ ! -x "${PRACBENCH}" ]]; then
+    echo "error: ${PRACBENCH} not found; build first" >&2
+    exit 1
+fi
+
+rm -rf "${OUT_DIR}"
+mkdir -p "${OUT_DIR}"
+
+# --- a command must FAIL with exit 2 and print the expected hint ---
+expect_reject() {
+    local needle="$1"
+    shift
+    local rc=0 output
+    output="$("$@" 2>&1)" || rc=$?
+    if [[ "${rc}" -ne 2 ]]; then
+        echo "error: expected exit 2 from: $* (got ${rc})" >&2
+        echo "${output}" >&2
+        exit 1
+    fi
+    if [[ "${output}" != *"${needle}"* ]]; then
+        echo "error: expected '${needle}' in output of: $*" >&2
+        echo "${output}" >&2
+        exit 1
+    fi
+    echo "    rejected as expected: $*"
+}
+
+echo "==> list: subcommand and flat flag print identical catalogs"
+"${PRACBENCH}" list > "${OUT_DIR}/list_new.txt"
+"${PRACBENCH}" --list > "${OUT_DIR}/list_old.txt" \
+    2> "${OUT_DIR}/list_old.err"
+cmp "${OUT_DIR}/list_new.txt" "${OUT_DIR}/list_old.txt"
+grep -q "deprecated" "${OUT_DIR}/list_old.err"
+
+echo "==> run: subcommand and flat flag sweep identically"
+"${PRACBENCH}" run fig07_tmax_analysis --smoke --quiet --no-table \
+    --out "${OUT_DIR}/run_new.json"
+"${PRACBENCH}" --scenario fig07_tmax_analysis --smoke --quiet \
+    --no-table --out "${OUT_DIR}/run_old.json" \
+    2> "${OUT_DIR}/run_old.err"
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    "${OUT_DIR}/run_new.json" "${OUT_DIR}/run_old.json"
+grep -q "deprecated" "${OUT_DIR}/run_old.err"
+
+echo "==> record/replay: subcommand and flat flag round-trip"
+"${PRACBENCH}" record "${OUT_DIR}/traces_new" --workload h_rand_heavy \
+    --set warmup=2000 --set measure=10000 --quiet
+"${PRACBENCH}" --record-trace "${OUT_DIR}/traces_old" \
+    --workload h_rand_heavy --set warmup=2000 --set measure=10000 \
+    --quiet 2> "${OUT_DIR}/record_old.err"
+grep -q "deprecated" "${OUT_DIR}/record_old.err"
+# Replay the SAME trace in both spellings: the emitted JSON embeds
+# the trace path, so replaying two separate recordings would differ
+# on that field alone.
+"${PRACBENCH}" replay "${OUT_DIR}/traces_new/h_rand_heavy.trc" \
+    --verify --quiet --no-table \
+    --out "${OUT_DIR}/replay_new.json"
+"${PRACBENCH}" --replay "${OUT_DIR}/traces_new/h_rand_heavy.trc" \
+    --verify --quiet --no-table \
+    --out "${OUT_DIR}/replay_old.json" 2> "${OUT_DIR}/replay_old.err"
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    "${OUT_DIR}/replay_new.json" "${OUT_DIR}/replay_old.json"
+grep -q "deprecated" "${OUT_DIR}/replay_old.err"
+
+echo "==> help exits 0 in both spellings"
+"${PRACBENCH}" help > /dev/null
+"${PRACBENCH}" --help > /dev/null
+
+echo "==> typos are rejected with exit 2 and a hint"
+expect_reject "did you mean 'merge'" "${PRACBENCH}" mrege
+expect_reject "did you mean '--shard'" \
+    "${PRACBENCH}" run fig07_tmax_analysis --shrad 0/2
+expect_reject "did you mean 'fig07_tmax_analysis'" \
+    "${PRACBENCH}" run fig07_tmax_analysiss --smoke
+expect_reject "unknown" \
+    "${PRACBENCH}" run fig07_tmax_analysis --frobnicate
+expect_reject "unknown" "${PRACBENCH}" --scenario nope_not_real
+
+echo "cli smoke passed"

@@ -15,6 +15,12 @@
 # under it (one DIR/<scenario>.jsonl per scenario) and pick up where
 # a killed run left off:
 #   CHECKPOINT_DIR=ckpt scripts/run_all_figures.sh
+# Fleet runs: set SHARD=i/N (requires CHECKPOINT_DIR, ideally on a
+# shared filesystem) to run only every N-th grid point of every
+# scenario on this host.  Once all N shards finish, fuse with
+#   build/pracbench merge CHECKPOINT_DIR --out results/ --csv results/
+# -- sharded runs skip per-shard JSON emission, since a shard's
+# output is partial by construction.
 
 set -euo pipefail
 
@@ -36,9 +42,20 @@ CHECKPOINT=()
 [[ -n "${CHECKPOINT_DIR:-}" ]] &&
     CHECKPOINT=(--checkpoint "${CHECKPOINT_DIR}" --resume)
 
-# --list prints one header line, then per scenario a summary line
+EMIT=(--out "${OUT_DIR}/" --csv "${OUT_DIR}/")
+if [[ -n "${SHARD:-}" ]]; then
+    if [[ -z "${CHECKPOINT_DIR:-}" ]]; then
+        echo "error: SHARD=${SHARD} requires CHECKPOINT_DIR (the" \
+             "shard journals are the fleet's only output)" >&2
+        exit 1
+    fi
+    CHECKPOINT+=(--shard "${SHARD}")
+    EMIT=()
+fi
+
+# `list` prints one header line, then per scenario a summary line
 # plus an indented one-line description; keep the summary lines only.
-mapfile -t SCENARIOS < <("${PRACBENCH}" --list |
+mapfile -t SCENARIOS < <("${PRACBENCH}" list |
     awk 'NR > 1 && $0 !~ /^ / {print $1}')
 echo "running ${#SCENARIOS[@]} scenarios -> ${OUT_DIR}/"
 
@@ -49,12 +66,17 @@ for scenario in "${SCENARIOS[@]}"; do
     # so the thread pool does not skew the timings they report.
     [[ "${scenario}" == "fastforward_benchmark" ]] && EXTRA+=(--jobs 1)
     # shellcheck disable=SC2086  # PRACBENCH_ARGS is intentionally split
-    # (the EXTRA expansion guard keeps `set -u` happy on bash < 4.4;
+    # (the array expansion guards keep `set -u` happy on bash < 4.4;
     # EXTRA comes last so the forced --jobs 1 beats PRACBENCH_ARGS)
-    "${PRACBENCH}" --scenario "${scenario}" --quiet --no-table \
-        --out "${OUT_DIR}/" --csv "${OUT_DIR}/" \
+    "${PRACBENCH}" run "${scenario}" --quiet --no-table \
+        ${EMIT[@]+"${EMIT[@]}"} \
         ${CHECKPOINT[@]+"${CHECKPOINT[@]}"} \
         ${PRACBENCH_ARGS:-} ${EXTRA[@]+"${EXTRA[@]}"}
 done
 
-echo "done: $(ls "${OUT_DIR}"/*.json | wc -l) JSON files in ${OUT_DIR}/"
+if [[ -n "${SHARD:-}" ]]; then
+    echo "done: shard ${SHARD} journaled under ${CHECKPOINT_DIR}/;" \
+         "merge once all shards finish"
+else
+    echo "done: $(ls "${OUT_DIR}"/*.json | wc -l) JSON files in ${OUT_DIR}/"
+fi

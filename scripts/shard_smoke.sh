@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Fleet smoke: run one sweep as two static shards plus work-stealing
+# workers over a shared checkpoint directory -- the first steal
+# worker is SIGKILLed mid-flight (a dead host) and a forged stale
+# claim is injected -- then `pracbench merge` fuses the journals and
+# the result must be byte-identical to an uninterrupted single-host
+# run (stripping only wall_seconds and the provenance timestamp --
+# scripts/diff_sweep_json.py; the CSV must match byte-for-byte).
+#
+# Usage: scripts/shard_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  where pracbench lives (default: build)
+#   OUT_DIR    results + checkpoint location (default: results/shard_smoke)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results/shard_smoke}"
+PRACBENCH="${BUILD_DIR}/pracbench"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+if [[ ! -x "${PRACBENCH}" ]]; then
+    echo "error: ${PRACBENCH} not found; build first" >&2
+    exit 1
+fi
+
+rm -rf "${OUT_DIR}"
+mkdir -p "${OUT_DIR}"
+
+# Six points (3 defenses x 2 workloads), heavy enough that the kill
+# lands mid-sweep but the whole exercise stays CI-sized.  Identical
+# to the resume smoke's sweep so the two jobs cross-check.
+SWEEP=(defense_matrix_perf --jobs 2 --quiet --no-table
+       --set mitigation=none,para,tprac
+       --set entry=h_rand_heavy,m_blend
+       --set warmup=20000 --set measure=200000)
+CKPT="${OUT_DIR}/ckpt"
+DEAD_JOURNAL="${CKPT}/defense_matrix_perf.worker-dead.jsonl"
+CLAIMS="${CKPT}/defense_matrix_perf.claims"
+
+echo "==> single-host reference run"
+"${PRACBENCH}" run "${SWEEP[@]}" \
+    --out "${OUT_DIR}/reference.json" --csv "${OUT_DIR}/reference.csv"
+
+echo "==> static shards 0/3 and 1/3 (shard 2/3 never reports in)"
+for index in 0 1; do
+    "${PRACBENCH}" run "${SWEEP[@]}" \
+        --checkpoint "${CKPT}" --shard "${index}/3"
+done
+
+echo "==> steal worker 'dead', SIGKILLed mid-flight"
+"${PRACBENCH}" run "${SWEEP[@]}" --checkpoint "${CKPT}" \
+    --steal --worker-id dead --claim-ttl 600 &
+VICTIM=$!
+# Kill once the dead worker's journal holds a completed point
+# (header + 1 record): its partial work must survive the merge.
+for _ in $(seq 1 600); do
+    if [[ -f "${DEAD_JOURNAL}" ]] &&
+       [[ "$(wc -l < "${DEAD_JOURNAL}")" -ge 2 ]]; then
+        break
+    fi
+    if ! kill -0 "${VICTIM}" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -KILL "${VICTIM}" 2>/dev/null; then
+    echo "==> SIGKILLed pid ${VICTIM}"
+else
+    echo "warning: dead worker finished before the kill landed" >&2
+fi
+wait "${VICTIM}" 2>/dev/null || true
+
+if [[ ! -f "${DEAD_JOURNAL}" ]]; then
+    echo "error: the dead worker never wrote its journal" >&2
+    exit 1
+fi
+
+# The dead worker's leftover claims have fresh mtimes (claim-ttl 600
+# would stall the live worker for minutes); age them, and forge one
+# extra stale claim from a host that vanished without journaling
+# anything, so the live worker must exercise the steal path.
+mkdir -p "${CLAIMS}"
+printf 'vanished\n' > "${CLAIMS}/point-0.claim" 2>/dev/null || true
+find "${CLAIMS}" -name '*.claim' \
+    -exec touch -d '2 hours ago' {} + 2>/dev/null || true
+
+echo "==> steal worker 'live' finishes the sweep"
+"${PRACBENCH}" run "${SWEEP[@]}" --checkpoint "${CKPT}" \
+    --steal --worker-id live --claim-ttl 60 \
+    --out "${OUT_DIR}/live.json"
+
+echo "==> merging $(ls "${CKPT}"/*.jsonl | wc -l) journals"
+"${PRACBENCH}" merge "${CKPT}" --jobs 2 --no-table \
+    --out "${OUT_DIR}/merged.json" --csv "${OUT_DIR}/merged.csv"
+
+echo "==> diffing merged and live outputs against the reference"
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    "${OUT_DIR}/reference.json" "${OUT_DIR}/merged.json"
+# A finished steal worker exits holding the complete merged result.
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    "${OUT_DIR}/reference.json" "${OUT_DIR}/live.json"
+# The CSV carries no timestamps: byte-identical, full stop.
+cmp "${OUT_DIR}/reference.csv" "${OUT_DIR}/merged.csv"
+echo "shard smoke passed"

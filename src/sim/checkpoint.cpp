@@ -1,11 +1,18 @@
 #include "sim/checkpoint.h"
 
 #include "sim/provenance.h"
+#include "sim/runner.h"
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <stdexcept>
+#include <unistd.h>
 
 namespace pracleak::sim {
 
@@ -58,10 +65,43 @@ pointLine(std::size_t index, const std::vector<ResultRow> &rows)
     return record.dumpRoundTrip() + '\n';
 }
 
+bool
+validWorkerId(const std::string &worker)
+{
+    if (worker.empty())
+        return false;
+    for (const char c : worker)
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '-' && c != '_' && c != '.')
+            return false;
+    return true;
+}
+
+/** One fully parsed journal: header identity + point records. */
+struct RawJournal
+{
+    bool hasHeader = false;
+    std::string scenario;
+    std::string gitRev;
+    std::string gridHash;
+    JsonValue grid;
+    std::size_t points = 0;
+    ShardSpec shard;
+    std::string worker;
+    std::map<std::size_t, std::vector<ResultRow>> rowsByPoint;
+    std::size_t validBytes = 0;
+    bool droppedTornTail = false;
+};
+
+/**
+ * Interpret a header record's identity fields.  Structural problems
+ * (missing/mistyped fields, unreadable format version) are hard
+ * errors here; comparing those fields against an expected sweep is
+ * the caller's business.
+ */
 void
-validateHeader(const std::string &path, const JsonValue &record,
-               const std::string &scenario, const JsonValue &grid,
-               std::size_t points)
+extractHeader(const std::string &path, const JsonValue &record,
+              RawJournal &out)
 {
     const JsonValue *kind = record.get("kind");
     if (!kind || kind->asString() != "header")
@@ -74,80 +114,45 @@ validateHeader(const std::string &path, const JsonValue &record,
                    (version ? version->asString() : "missing") +
                    " (this build reads version " +
                    std::to_string(kJournalVersion) +
-                   "); re-run without --resume");
+                   "); journals are working state, not archives -- "
+                   "re-run the sweep fresh");
 
     const JsonValue *name = record.get("scenario");
-    if (!name || name->asString() != scenario)
-        refuse(path,
-               "written by scenario '" +
-                   (name ? name->asString() : "?") + "', not '" +
-                   scenario + "'");
-
-    const std::string expectedGrid = gridHashHex(grid);
-    const JsonValue *gridHash = record.get("grid_fnv1a64");
-    if (!gridHash || gridHash->asString() != expectedGrid)
-        refuse(path,
-               "grid hash mismatch (journal " +
-                   (gridHash ? gridHash->asString() : "?") +
-                   ", effective grid " + expectedGrid +
-                   ") -- the sweep's axes or overrides changed; "
-                   "re-run without --resume to start fresh");
-
     const JsonValue *rev = record.get("git_rev");
-    if (!rev || rev->asString() != gitRevision())
-        refuse(path,
-               "git revision mismatch (journal " +
-                   (rev ? rev->asString() : "?") + ", build " +
-                   gitRevision() +
-                   ") -- results from different code must not be "
-                   "merged; re-run without --resume");
-
+    const JsonValue *hash = record.get("grid_fnv1a64");
     const JsonValue *count = record.get("points");
-    if (!count ||
-        count->asInt() != static_cast<std::int64_t>(points))
-        refuse(path, "point count mismatch");
+    if (!name || !rev || !hash || !count || count->asInt() < 0)
+        refuse(path, "header is missing identity fields");
+    out.scenario = name->asString();
+    out.gitRev = rev->asString();
+    out.gridHash = hash->asString();
+    out.points = static_cast<std::size_t>(count->asInt());
+    if (const JsonValue *grid = record.get("grid"))
+        out.grid = *grid;
+
+    if (const JsonValue *shard = record.get("shard")) {
+        const JsonValue *index = shard->get("index");
+        const JsonValue *total = shard->get("count");
+        if (!index || !total || index->asInt() < 0 ||
+            total->asInt() <= index->asInt())
+            refuse(path, "header has a malformed shard spec");
+        out.shard.index = static_cast<unsigned>(index->asInt());
+        out.shard.count = static_cast<unsigned>(total->asInt());
+    }
+    if (const JsonValue *worker = record.get("worker"))
+        out.worker = worker->asString();
 }
 
-} // namespace
-
-std::string
-journalPath(const std::string &directory, const std::string &scenario)
+/**
+ * Parse @p text structurally.  Torn final records are dropped; a
+ * complete line that fails any check is corruption and throws.  An
+ * empty file or one holding only a torn header yields
+ * hasHeader == false.
+ */
+RawJournal
+parseJournal(const std::string &path, const std::string &text)
 {
-    std::string path = directory;
-    if (!path.empty() && path.back() != '/')
-        path += '/';
-    return path + scenario + ".jsonl";
-}
-
-JsonValue
-journalHeader(const std::string &scenario, const JsonValue &grid,
-              std::size_t points)
-{
-    JsonValue header = JsonValue::object();
-    header.set("kind", "header");
-    header.set("version", kJournalVersion);
-    header.set("scenario", scenario);
-    header.set("points", static_cast<std::int64_t>(points));
-    header.set("git_rev", gitRevision());
-    header.set("grid_fnv1a64", gridHashHex(grid));
-    header.set("created_at", utcTimestamp());
-    // The grid itself rides along for human inspection only;
-    // validation trusts the hash.
-    header.set("grid", grid);
-    return header;
-}
-
-CheckpointState
-loadJournal(const std::string &path, const std::string &scenario,
-            const JsonValue &grid, std::size_t points)
-{
-    CheckpointState state;
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return state; // no journal yet: fresh start
-
-    const std::string text((std::istreambuf_iterator<char>(in)),
-                           std::istreambuf_iterator<char>());
+    RawJournal raw;
     std::size_t pos = 0;
     std::size_t lineNo = 0;
     while (pos < text.size()) {
@@ -157,7 +162,7 @@ loadJournal(const std::string &path, const std::string &scenario,
             // the sweep died.  Records are written newline-last in
             // one stream operation, so only a tail can be torn --
             // drop it and re-run that point.
-            state.droppedTornTail = true;
+            raw.droppedTornTail = true;
             break;
         }
         ++lineNo;
@@ -172,8 +177,8 @@ loadJournal(const std::string &path, const std::string &scenario,
                              "merely truncated; delete it to start "
                              "fresh");
         if (lineNo == 1) {
-            validateHeader(path, record, scenario, grid, points);
-            state.hasHeader = true;
+            extractHeader(path, record, raw);
+            raw.hasHeader = true;
         } else {
             const JsonValue *kind = record.get("kind");
             if (!kind || kind->asString() != "point")
@@ -186,20 +191,353 @@ loadJournal(const std::string &path, const std::string &scenario,
                 refuse(path, "record " + std::to_string(lineNo) +
                                  " is missing index/rows");
             const std::int64_t i = index->asInt();
-            if (i < 0 || i >= static_cast<std::int64_t>(points))
+            if (i < 0 ||
+                i >= static_cast<std::int64_t>(raw.points))
                 refuse(path, "record " + std::to_string(lineNo) +
                                  " has point index " +
                                  std::to_string(i) +
                                  " outside the grid");
+            if (!shardOwns(static_cast<std::size_t>(i), raw.shard))
+                refuse(path, "record " + std::to_string(lineNo) +
+                                 " has point index " +
+                                 std::to_string(i) +
+                                 " outside shard " +
+                                 raw.shard.label() +
+                                 " -- ownership must be disjoint");
             // Duplicate indices are legal (a resume can re-run a
             // point whose record was torn away): last wins.
-            state.rowsByPoint[static_cast<std::size_t>(i)] =
+            raw.rowsByPoint[static_cast<std::size_t>(i)] =
                 rows->items();
         }
         pos = newline + 1;
-        state.validBytes = pos;
+        raw.validBytes = pos;
     }
+    return raw;
+}
+
+/** The rows of one point in canonical bytes (conflict detection). */
+std::string
+serializeRows(const std::vector<ResultRow> &rows)
+{
+    JsonValue array = JsonValue::array();
+    for (const ResultRow &row : rows)
+        array.push(row);
+    return array.dumpRoundTrip();
+}
+
+/**
+ * Create @p path with O_CREAT|O_EXCL: exactly one concurrent caller
+ * wins.  False when the file already exists; throws on any other
+ * failure (a vanished claims directory must surface, not spin).
+ */
+bool
+tryCreateExclusive(const std::string &path,
+                   const std::string &contents)
+{
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        throw std::runtime_error("claims: cannot create " + path +
+                                 ": " + std::strerror(errno));
+    }
+    // The content (owner + timestamp) is diagnostic only; claim
+    // semantics live in the file's existence and mtime.
+    const ssize_t written =
+        ::write(fd, contents.data(), contents.size());
+    (void)written;
+    ::close(fd);
+    return true;
+}
+
+} // namespace
+
+std::string
+ShardSpec::label() const
+{
+    if (!active())
+        return "";
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+bool
+shardOwns(std::size_t point, const ShardSpec &shard)
+{
+    // Round-robin, not contiguous blocks: sweeps often order axes so
+    // expensive values cluster, and i mod N spreads any such run of
+    // heavy points across all shards.
+    return !shard.active() || point % shard.count == shard.index;
+}
+
+std::string
+journalPath(const std::string &directory, const std::string &scenario)
+{
+    std::string path = directory;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    return path + scenario + ".jsonl";
+}
+
+std::string
+shardJournalPath(const std::string &directory,
+                 const std::string &scenario, const ShardSpec &shard)
+{
+    std::string path = directory;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    return path + scenario + ".shard-" + std::to_string(shard.index) +
+           "-of-" + std::to_string(shard.count) + ".jsonl";
+}
+
+std::string
+workerJournalPath(const std::string &directory,
+                  const std::string &scenario,
+                  const std::string &worker)
+{
+    if (!validWorkerId(worker))
+        throw std::invalid_argument(
+            "worker id '" + worker +
+            "' is not filename-safe (use alphanumerics, '-', '_', "
+            "'.')");
+    std::string path = directory;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    return path + scenario + ".worker-" + worker + ".jsonl";
+}
+
+JsonValue
+journalHeader(const std::string &scenario, const JsonValue &grid,
+              std::size_t points, const ShardSpec &shard,
+              const std::string &worker)
+{
+    JsonValue header = JsonValue::object();
+    header.set("kind", "header");
+    header.set("version", kJournalVersion);
+    header.set("scenario", scenario);
+    header.set("points", static_cast<std::int64_t>(points));
+    header.set("git_rev", gitRevision());
+    header.set("grid_fnv1a64", gridHashHex(grid));
+    if (shard.active()) {
+        JsonValue spec = JsonValue::object();
+        spec.set("index", static_cast<std::int64_t>(shard.index));
+        spec.set("count", static_cast<std::int64_t>(shard.count));
+        header.set("shard", std::move(spec));
+    }
+    if (!worker.empty())
+        header.set("worker", worker);
+    header.set("created_at", utcTimestamp());
+    // The grid itself rides along for the merge path (its hash is
+    // validated against grid_fnv1a64 before it is trusted) and for
+    // human inspection; resume validation trusts only the hash.
+    header.set("grid", grid);
+    return header;
+}
+
+CheckpointState
+loadJournal(const std::string &path, const std::string &scenario,
+            const JsonValue &grid, std::size_t points,
+            const ShardSpec &shard, const std::string &worker)
+{
+    CheckpointState state;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return state; // no journal yet: fresh start
+
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    RawJournal raw = parseJournal(path, text);
+    if (!raw.hasHeader)
+        return state; // empty file / torn header: fresh start
+
+    if (raw.scenario != scenario)
+        refuse(path, "written by scenario '" + raw.scenario +
+                         "', not '" + scenario + "'");
+    const std::string expectedGrid = gridHashHex(grid);
+    if (raw.gridHash != expectedGrid)
+        refuse(path,
+               "grid hash mismatch (journal " + raw.gridHash +
+                   ", effective grid " + expectedGrid +
+                   ") -- the sweep's axes or overrides changed; "
+                   "re-run without --resume to start fresh");
+    if (raw.gitRev != gitRevision())
+        refuse(path,
+               "git revision mismatch (journal " + raw.gitRev +
+                   ", build " + gitRevision() +
+                   ") -- results from different code must not be "
+                   "merged; re-run without --resume");
+    if (raw.points != points)
+        refuse(path, "point count mismatch");
+    if (!(raw.shard == shard))
+        refuse(path, "shard mismatch (journal owns " +
+                         (raw.shard.active() ? raw.shard.label()
+                                             : "the whole grid") +
+                         ", this run owns " +
+                         (shard.active() ? shard.label()
+                                         : "the whole grid") +
+                         ") -- per-shard journals must not cross");
+    if (raw.worker != worker)
+        refuse(path, "worker mismatch (journal written by '" +
+                         raw.worker + "', this run is '" + worker +
+                         "')");
+
+    state.rowsByPoint = std::move(raw.rowsByPoint);
+    state.hasHeader = true;
+    state.validBytes = raw.validBytes;
+    state.droppedTornTail = raw.droppedTornTail;
     return state;
+}
+
+JournalFile
+readJournalFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        refuse(path, "cannot read");
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    RawJournal raw = parseJournal(path, text);
+    if (!raw.hasHeader)
+        refuse(path, "no complete header record -- nothing to merge");
+    // The merge path trusts the embedded grid, so prove it still
+    // matches the hash the journal itself claims to be pinned to.
+    if (gridHashHex(raw.grid) != raw.gridHash)
+        refuse(path, "embedded grid does not match the header's "
+                     "grid hash -- the journal was modified");
+
+    JournalFile file;
+    file.path = path;
+    file.scenario = std::move(raw.scenario);
+    file.gitRev = std::move(raw.gitRev);
+    file.gridHash = std::move(raw.gridHash);
+    file.grid = std::move(raw.grid);
+    file.points = raw.points;
+    file.shard = raw.shard;
+    file.worker = std::move(raw.worker);
+    file.rowsByPoint = std::move(raw.rowsByPoint);
+    file.droppedTornTail = raw.droppedTornTail;
+    return file;
+}
+
+std::vector<std::string>
+journalFilesFor(const std::string &directory,
+                const std::string &scenario)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory, ec)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".jsonl")
+            continue;
+        // Peek at the first line only: files without a complete
+        // header (a worker killed mid-header) hold no point records
+        // and are skipped, not errors.
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::string first;
+        if (!in || !std::getline(in, first))
+            continue;
+        std::string error;
+        const JsonValue header = parseJson(first, &error);
+        if (!error.empty())
+            continue;
+        const JsonValue *kind = header.get("kind");
+        const JsonValue *name = header.get("scenario");
+        if (!kind || kind->asString() != "header" || !name)
+            continue;
+        if (!scenario.empty() && name->asString() != scenario)
+            continue;
+        paths.push_back(entry.path().string());
+    }
+    if (ec)
+        throw std::runtime_error("cannot scan " + directory + ": " +
+                                 ec.message());
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+MergedJournals
+mergeJournals(const std::vector<std::string> &paths)
+{
+    if (paths.empty())
+        throw std::runtime_error("merge: no journals to merge");
+
+    MergedJournals merged;
+    std::string seedPath;
+    std::string seedHash;
+    std::map<std::size_t, std::string> ownerPath;
+    std::map<std::size_t, std::string> serialized;
+    for (const std::string &path : paths) {
+        JournalFile journal = readJournalFile(path);
+        if (journal.gitRev != gitRevision())
+            refuse(path,
+                   "git revision mismatch (journal " +
+                       journal.gitRev + ", merging build " +
+                       gitRevision() +
+                       ") -- results from different code must not "
+                       "be merged");
+        if (seedPath.empty()) {
+            seedPath = path;
+            seedHash = journal.gridHash;
+            merged.scenario = journal.scenario;
+            merged.grid = journal.grid;
+            merged.points = journal.points;
+        } else {
+            if (journal.scenario != merged.scenario)
+                refuse(path,
+                       "scenario '" + journal.scenario +
+                           "' does not match '" + merged.scenario +
+                           "' from " + seedPath +
+                           " (merging a mixed directory? pass "
+                           "--scenario to filter)");
+            if (journal.gridHash != seedHash)
+                refuse(path, "grid hash mismatch against " +
+                                 seedPath +
+                                 " -- these journals belong to "
+                                 "different sweeps");
+            if (journal.points != merged.points)
+                refuse(path, "point count mismatch against " +
+                                 seedPath);
+        }
+        for (auto &[index, rows] : journal.rowsByPoint) {
+            std::string bytes = serializeRows(rows);
+            const auto seen = serialized.find(index);
+            if (seen == serialized.end()) {
+                merged.rowsByPoint[index] = std::move(rows);
+                serialized[index] = std::move(bytes);
+                ownerPath[index] = path;
+                continue;
+            }
+            // Overlap is legal (work stealing may run a point twice)
+            // but only when the duplicate rows are byte-identical:
+            // the runs are deterministic, so a conflict means the
+            // journals do not describe the same computation.
+            if (seen->second != bytes)
+                refuse(path,
+                       "point " + std::to_string(index) +
+                           " conflicts with " + ownerPath[index] +
+                           " -- overlapping ownership with "
+                           "different rows; refusing to pick one");
+        }
+    }
+
+    if (merged.rowsByPoint.size() != merged.points) {
+        std::string missing;
+        std::size_t shown = 0;
+        for (std::size_t i = 0; i < merged.points && shown < 8; ++i)
+            if (!merged.rowsByPoint.count(i)) {
+                missing += (shown ? ", " : "") + std::to_string(i);
+                ++shown;
+            }
+        throw std::runtime_error(
+            "merge: " +
+            std::to_string(merged.points -
+                           merged.rowsByPoint.size()) +
+            " of " + std::to_string(merged.points) +
+            " points are covered by no journal (first missing: " +
+            missing + ") -- is a shard's journal absent?");
+    }
+    return merged;
 }
 
 JournalWriter::JournalWriter(const std::string &path,
@@ -293,6 +631,119 @@ JournalWriter::warnIfFailedLocked()
                  "warning: checkpoint journal write failed (disk "
                  "full? directory removed?); points completed from "
                  "here on will NOT be resumable\n");
+}
+
+PointClaims::PointClaims(const std::string &directory,
+                         const std::string &scenario,
+                         std::string worker, double claimTtlSeconds)
+    : worker_(std::move(worker)), ttlSeconds_(claimTtlSeconds)
+{
+    if (!validWorkerId(worker_))
+        throw std::invalid_argument(
+            "worker id '" + worker_ +
+            "' is not filename-safe (use alphanumerics, '-', '_', "
+            "'.')");
+    claimsDir_ = directory;
+    if (!claimsDir_.empty() && claimsDir_.back() != '/')
+        claimsDir_ += '/';
+    claimsDir_ += scenario + ".claims";
+    std::error_code ec;
+    std::filesystem::create_directories(claimsDir_, ec);
+    if (ec || !std::filesystem::is_directory(claimsDir_))
+        throw std::runtime_error("claims: cannot create " +
+                                 claimsDir_ +
+                                 (ec ? ": " + ec.message() : ""));
+}
+
+std::string
+PointClaims::claimPath(std::size_t point) const
+{
+    return claimsDir_ + "/point-" + std::to_string(point) + ".claim";
+}
+
+std::string
+PointClaims::donePath(std::size_t point) const
+{
+    return claimsDir_ + "/point-" + std::to_string(point) + ".done";
+}
+
+bool
+PointClaims::isDone(std::size_t point) const
+{
+    std::error_code ec;
+    return std::filesystem::exists(donePath(point), ec);
+}
+
+bool
+PointClaims::tryClaim(std::size_t point)
+{
+    if (isDone(point))
+        return false;
+    const std::string path = claimPath(point);
+    const std::string contents =
+        worker_ + "\n" + utcTimestamp() + "\n";
+    if (tryCreateExclusive(path, contents)) {
+        // A racer may have finished the point between our done check
+        // and the claim; don't keep ownership of finished work.
+        if (isDone(point)) {
+            release(point);
+            return false;
+        }
+        return true;
+    }
+
+    // An existing claim: respect it while fresh, steal it once its
+    // mtime ages past the TTL (the owner is presumed dead).
+    std::error_code ec;
+    const auto mtime =
+        std::filesystem::last_write_time(path, ec);
+    if (ec)
+        return false; // vanished mid-look: the next pass decides
+    const auto age =
+        std::filesystem::file_time_type::clock::now() - mtime;
+    const double ageSeconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            age)
+            .count();
+    if (ageSeconds <= ttlSeconds_)
+        return false;
+
+    // Steal: rename to a per-stealer tombstone first -- rename's
+    // atomicity guarantees exactly one stealer wins the right to
+    // re-claim, and a fresh claim taken meanwhile is never clobbered
+    // (we only ever remove the tombstone we own).
+    const std::string tombstone = path + ".stale-" + worker_;
+    std::filesystem::rename(path, tombstone, ec);
+    if (ec)
+        return false; // lost the steal race (or the owner released)
+    std::filesystem::remove(tombstone, ec);
+    if (!tryCreateExclusive(path, contents))
+        return false;
+    if (isDone(point)) {
+        release(point);
+        return false;
+    }
+    return true;
+}
+
+void
+PointClaims::release(std::size_t point)
+{
+    std::error_code ec;
+    std::filesystem::remove(claimPath(point), ec);
+}
+
+void
+PointClaims::markDone(std::size_t point)
+{
+    // Published via temp + atomic rename (writeFileAtomic): other
+    // workers must never observe a half-created marker.  Failure is
+    // fatal -- a lost marker stalls every other worker until the
+    // claim TTL, and the "all done" exit condition would never hold.
+    if (!writeFileAtomic(donePath(point), worker_ + "\n"))
+        throw std::runtime_error(
+            "claims: cannot publish done marker for point " +
+            std::to_string(point) + " under " + claimsDir_);
 }
 
 } // namespace pracleak::sim

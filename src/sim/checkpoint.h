@@ -2,16 +2,33 @@
  * @file
  * Sweep checkpoint journal: an append-only JSONL file that records
  * each completed grid point as workers finish, so a killed
- * multi-hour sweep resumes instead of restarting.
+ * multi-hour sweep resumes instead of restarting -- and, since the
+ * journal pins the sweep's full identity, the unit of distribution
+ * for fleet-scale sharded sweeps.
  *
  * Line 1 is a header record pinning the identity the journal belongs
  * to -- scenario name, FNV-1a hash of the effective grid, building
- * git revision, point count -- and every later line is one completed
- * point: `{"kind": "point", "index": I, "rows": [...]}` with the
- * point's parameters already merged into its rows.  Records land in
- * completion order (workers finish out of order); the loader keys
- * them by grid index, so the merged output is identical to an
+ * git revision, point count, and (for distributed runs) the shard
+ * spec or work-stealing worker id -- and every later line is one
+ * completed point: `{"kind": "point", "index": I, "rows": [...]}`
+ * with the point's parameters already merged into its rows.  Records
+ * land in completion order (workers finish out of order); the loader
+ * keys them by grid index, so the merged output is identical to an
  * uninterrupted run regardless of `--jobs` or kill timing.
+ *
+ * Distribution is built from three pieces, all defined here:
+ *  - ShardSpec / shardOwns(): a deterministic round-robin partition
+ *    of the grid-point index space, so N hosts journal disjoint
+ *    ranges against per-shard journals;
+ *  - readJournalFile() / mergeJournals(): fuse any set of shard and
+ *    worker journals back into one result, refusing on identity
+ *    mismatch, overlapping ownership with *conflicting* rows, or
+ *    missing points;
+ *  - PointClaims: a work-stealing claim protocol over a shared
+ *    checkpoint directory -- workers claim points via O_EXCL claim
+ *    files, publish completion via atomically renamed done markers,
+ *    and steal claims whose mtime is older than a TTL so a crashed
+ *    host's points get re-run.
  *
  * Robustness contract:
  *  - a torn final record (crash mid-write; no trailing newline) is
@@ -19,8 +36,9 @@
  *    the last complete record before appending resumes;
  *  - duplicate records for one index are legal, last wins;
  *  - any header mismatch (scenario, grid hash, git revision, point
- *    count, format version) refuses to resume with a clear error
- *    rather than merging rows from a different sweep;
+ *    count, shard spec, worker id, format version) refuses to resume
+ *    with a clear error rather than merging rows from a different
+ *    sweep;
  *  - a newline-terminated record that fails to parse is corruption,
  *    not a torn tail, and is likewise a hard error.
  *
@@ -31,6 +49,7 @@
 #define PRACLEAK_SIM_CHECKPOINT_H
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -42,16 +61,71 @@
 
 namespace pracleak::sim {
 
-/** Journal format version; bump on any incompatible record change. */
-inline constexpr std::int64_t kJournalVersion = 1;
+/**
+ * Journal format version; bump on any incompatible record change.
+ * v2 added the optional "shard"/"worker" header identity fields.
+ */
+inline constexpr std::int64_t kJournalVersion = 2;
+
+/**
+ * Which slice of a sweep's grid-point index space one host owns.
+ * count == 0 means unsharded (the whole grid); otherwise the shard
+ * owns every point whose index is congruent to `index` modulo
+ * `count` -- a round-robin partition, so expensive points that
+ * cluster in grid order still spread across hosts.
+ */
+struct ShardSpec
+{
+    unsigned index = 0;
+    unsigned count = 0;
+
+    bool active() const { return count != 0; }
+    bool operator==(const ShardSpec &other) const
+    {
+        return index == other.index && count == other.count;
+    }
+
+    /** "i/N" (or "" when inactive), as spelled on the CLI. */
+    std::string label() const;
+};
+
+/**
+ * Does @p shard own grid point @p point?  Pure, deterministic, and
+ * independent of --jobs: the union over all shards of one count is
+ * the whole index space, pairwise disjoint.  An inactive spec owns
+ * everything.
+ */
+bool shardOwns(std::size_t point, const ShardSpec &shard);
 
 /** The journal a sweep of @p scenario writes under @p directory. */
 std::string journalPath(const std::string &directory,
                         const std::string &scenario);
 
-/** Build the header record pinning a sweep's identity. */
+/** Per-shard journal: DIR/<scenario>.shard-I-of-N.jsonl. */
+std::string shardJournalPath(const std::string &directory,
+                             const std::string &scenario,
+                             const ShardSpec &shard);
+
+/**
+ * Per-worker journal for work-stealing runs:
+ * DIR/<scenario>.worker-<id>.jsonl.  Throws std::invalid_argument
+ * when @p worker contains characters unsafe in a file name (allowed:
+ * alphanumerics, '-', '_', '.').
+ */
+std::string workerJournalPath(const std::string &directory,
+                              const std::string &scenario,
+                              const std::string &worker);
+
+/**
+ * Build the header record pinning a sweep's identity.  An active
+ * @p shard adds a {"index", "count"} object under "shard"; a
+ * non-empty @p worker adds a "worker" field -- both are validated on
+ * resume exactly like the scenario name and grid hash.
+ */
 JsonValue journalHeader(const std::string &scenario,
-                        const JsonValue &grid, std::size_t points);
+                        const JsonValue &grid, std::size_t points,
+                        const ShardSpec &shard = {},
+                        const std::string &worker = {});
 
 /** What loadJournal() recovered from an existing journal. */
 struct CheckpointState
@@ -74,16 +148,86 @@ struct CheckpointState
 
 /**
  * Read @p path and validate it against the sweep about to run
- * (@p scenario / @p grid / @p points describe the *effective* grid,
- * after overrides).  A missing or empty file -- including one whose
- * only content is a torn header -- yields an empty state (fresh
- * start).  Throws std::runtime_error with a path-prefixed message on
- * any identity mismatch or interior corruption.
+ * (@p scenario / @p grid / @p points / @p shard / @p worker describe
+ * the *effective* sweep, after overrides).  A missing or empty file
+ * -- including one whose only content is a torn header -- yields an
+ * empty state (fresh start).  Throws std::runtime_error with a
+ * path-prefixed message on any identity mismatch or interior
+ * corruption, including a point record outside the declared shard's
+ * ownership.
  */
 CheckpointState loadJournal(const std::string &path,
                             const std::string &scenario,
                             const JsonValue &grid,
-                            std::size_t points);
+                            std::size_t points,
+                            const ShardSpec &shard = {},
+                            const std::string &worker = {});
+
+/**
+ * One journal read without an expected identity (the merge path):
+ * the header's own fields are returned for cross-journal validation
+ * instead of being checked against a sweep about to run.
+ */
+struct JournalFile
+{
+    std::string path;
+    std::string scenario;
+    std::string gitRev;
+    std::string gridHash;
+    JsonValue grid;
+    std::size_t points = 0;
+    ShardSpec shard;    //!< inactive when the journal is unsharded
+    std::string worker; //!< "" when not a work-stealing journal
+    std::map<std::size_t, std::vector<ResultRow>> rowsByPoint;
+    bool droppedTornTail = false;
+};
+
+/**
+ * Parse one journal structurally: header present and well-formed,
+ * embedded grid consistent with the header's own grid hash (tamper
+ * check), every point record shaped correctly, in range, and -- for
+ * a shard journal -- owned by the declared shard.  A torn final
+ * record is dropped (a crashed worker's journal must still merge);
+ * any complete line that fails these checks throws
+ * std::runtime_error.
+ */
+JournalFile readJournalFile(const std::string &path);
+
+/**
+ * The `*.jsonl` files under @p directory whose first line is a valid
+ * journal header -- for @p scenario when non-empty, else for any
+ * scenario -- sorted by path.  Files without a complete header line
+ * (e.g. a worker killed mid-header) are skipped: they cannot contain
+ * any point records.
+ */
+std::vector<std::string>
+journalFilesFor(const std::string &directory,
+                const std::string &scenario = {});
+
+/** What mergeJournals() fused out of a set of shard/worker journals. */
+struct MergedJournals
+{
+    std::string scenario;
+    JsonValue grid;
+    std::size_t points = 0;
+    std::map<std::size_t, std::vector<ResultRow>> rowsByPoint;
+};
+
+/**
+ * Fuse @p paths -- any mix of whole-sweep, per-shard, and per-worker
+ * journals -- into one complete point map.  Throws
+ * std::runtime_error when:
+ *  - the set is empty, or any journal fails readJournalFile();
+ *  - the journals disagree on scenario, grid hash, point count, or
+ *    format version, or were written by a different git revision
+ *    than this build (results from different code must not fuse);
+ *  - two journals cover the same point with *conflicting* rows
+ *    (byte-identical duplicates are legal -- work stealing may run a
+ *    point twice);
+ *  - any grid point is covered by no journal (the merged result
+ *    would silently claim completeness it does not have).
+ */
+MergedJournals mergeJournals(const std::vector<std::string> &paths);
 
 /**
  * Append-only journal writer.  Construction either truncates and
@@ -127,6 +271,75 @@ class JournalWriter
     std::size_t flushEvery_ = 1;
     std::size_t sinceFlush_ = 0;
     bool warnedFailed_ = false;
+};
+
+/**
+ * Work-stealing claim protocol over a shared checkpoint directory
+ * (DIR/<scenario>.claims/).  Claims are an optimization, not the
+ * correctness mechanism: the journal tolerates duplicate records and
+ * mergeJournals() accepts byte-identical overlap, so a lost race or
+ * a stolen-but-still-running claim costs duplicated work, never a
+ * wrong result.  Done markers, by contrast, are authoritative: one
+ * is created only after the point's journal record is flushed, so a
+ * marker guarantees some journal in the directory durably holds the
+ * point.
+ *
+ * Atomicity discipline (same as writeFileAtomic): claims are taken
+ * with O_CREAT|O_EXCL -- exactly one creator wins; stale claims
+ * (mtime older than the TTL) are stolen by renaming to a
+ * per-stealer tombstone first, so exactly one stealer wins the right
+ * to re-claim; done markers are published via temp + rename.
+ *
+ * Safe for concurrent use from multiple threads *and* multiple
+ * processes sharing one directory (a coherent local or network
+ * filesystem is assumed).
+ */
+class PointClaims
+{
+  public:
+    /**
+     * @p claimTtlSeconds: a claim older than this is presumed dead
+     * and may be stolen.  Set it above the slowest expected point
+     * runtime -- a premature steal only duplicates work, but
+     * needlessly.  Throws std::runtime_error when the claims
+     * directory cannot be created, std::invalid_argument on a
+     * path-unsafe @p worker.
+     */
+    PointClaims(const std::string &directory,
+                const std::string &scenario, std::string worker,
+                double claimTtlSeconds);
+
+    /**
+     * Try to take ownership of @p point.  False when the point is
+     * already done, freshly claimed by someone else, or lost in a
+     * race; true means this worker should run the point, then call
+     * markDone() and release().
+     */
+    bool tryClaim(std::size_t point);
+
+    /** Drop this worker's claim file (after markDone()). */
+    void release(std::size_t point);
+
+    /**
+     * Publish @p point as durably journaled.  Callers must flush the
+     * journal record first -- other workers trust the marker.
+     * Throws std::runtime_error on failure (a silently lost marker
+     * would stall every other worker until the TTL).
+     */
+    void markDone(std::size_t point);
+
+    /** Has any worker published @p point as done? */
+    bool isDone(std::size_t point) const;
+
+    const std::string &claimsDirectory() const { return claimsDir_; }
+
+  private:
+    std::string claimPath(std::size_t point) const;
+    std::string donePath(std::size_t point) const;
+
+    std::string claimsDir_;
+    std::string worker_;
+    double ttlSeconds_ = 300.0;
 };
 
 } // namespace pracleak::sim

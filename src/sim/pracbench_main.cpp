@@ -1,22 +1,37 @@
 /**
  * @file
- * `pracbench` -- the unified scenario runner CLI.
+ * `pracbench` -- the unified scenario runner CLI, organized as
+ * subcommands:
  *
- *   pracbench --list
- *   pracbench --scenario fig10_performance --jobs 4 --out results/fig10.json
- *   pracbench --scenario all --out results/ --csv results/
- *   pracbench --scenario fig13_nrh_sweep --set nrh=512,1024 --set measure=50000
- *   pracbench --scenario defense_matrix_perf --checkpoint ckpt/ --resume
- *   pracbench --record-trace traces/ --workload h_rand_heavy
- *   pracbench --replay traces/h_rand_heavy.trc --set mitigation=none,tprac
+ *   pracbench list
+ *   pracbench run fig10_performance --jobs 4 --out results/fig10.json
+ *   pracbench run all --out results/ --csv results/
+ *   pracbench run fig13_nrh_sweep --set nrh=512,1024 --set measure=50000
+ *   pracbench run defense_matrix_perf --checkpoint ckpt/ --resume
+ *   pracbench run defense_matrix_perf --checkpoint ckpt/ --shard 0/4
+ *   pracbench run defense_matrix_perf --checkpoint ckpt/ --steal \
+ *       --worker-id host1
+ *   pracbench merge ckpt/ --out results/defense_matrix_perf.json
+ *   pracbench record traces/ --workload h_rand_heavy
+ *   pracbench replay traces/h_rand_heavy.trc --set mitigation=none,tprac
+ *
+ * The pre-subcommand flat flags (--list, --scenario, --record-trace,
+ * --replay) still work as deprecated aliases: a leading flag is
+ * translated to the matching subcommand, with a one-line note on
+ * stderr.  Unknown flags and subcommands are hard errors with a
+ * "did you mean" hint -- a typo'd axis or mode must never silently
+ * burn a fleet-sized sweep.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "sim/checkpoint.h"
@@ -32,11 +47,23 @@ void
 printUsage()
 {
     std::printf(
-        "usage: pracbench [options]\n"
+        "usage: pracbench COMMAND [options]\n"
         "\n"
-        "  --list                 list registered scenarios and exit\n"
-        "  --scenario NAME        run a scenario (repeatable; 'all' "
-        "runs every one)\n"
+        "commands:\n"
+        "  run NAME...            run scenarios ('all' runs every "
+        "one)\n"
+        "  list                   list registered scenarios\n"
+        "  merge DIR|FILE...      fuse shard/worker checkpoint "
+        "journals into the\n"
+        "                         result an uninterrupted single-host "
+        "run would emit\n"
+        "  record DIR             record memory-request traces into "
+        "DIR/<name>.trc\n"
+        "  replay FILE            replay a recorded trace against "
+        "fresh defenses\n"
+        "  help                   this message\n"
+        "\n"
+        "run options:\n"
         "  --jobs N               worker threads (default: hardware "
         "concurrency)\n"
         "  --out PATH             write JSON results; a .json path "
@@ -44,49 +71,62 @@ printUsage()
         "                         scenario, else a directory "
         "(NAME.json per scenario)\n"
         "  --csv PATH             same for CSV output\n"
-        "  --checkpoint DIR       journal each completed sweep point "
-        "to\n"
-        "                         DIR/<scenario>.jsonl as workers "
-        "finish (overwrites\n"
-        "                         an existing journal unless "
-        "--resume is given)\n"
-        "  --resume               with --checkpoint: skip points "
-        "already journaled by\n"
-        "                         an earlier (killed) run and merge "
-        "their rows back in;\n"
-        "                         refuses journals from a different "
-        "scenario, grid, or\n"
-        "                         git revision\n"
         "  --set AXIS=V1[,V2...]  override a grid axis (repeatable; "
         "unknown axes error)\n"
         "  --try-set AXIS=V1[,..] like --set, but skipped when the "
         "scenario has no such axis\n"
-        "  --record-trace DIR     record the memory-request stream "
-        "of each --workload\n"
-        "                         (default: the whole Table-4 suite) "
-        "into DIR/<name>.trc;\n"
-        "                         knobs via --set mitigation=/spec=/"
-        "nbo=/warmup=/measure=/\n"
-        "                         channels=/cores=\n"
-        "  --workload NAME        suite entry to record "
-        "(repeatable; with --record-trace)\n"
-        "  --replay FILE          replay a recorded trace against "
-        "fresh controller +\n"
-        "                         mitigation stacks; defenses via "
-        "--set mitigation=A,B\n"
-        "                         (default: the recorded defense)\n"
-        "  --verify               with --replay: exit non-zero "
-        "unless the same-defense\n"
-        "                         replay reproduces the recorded "
-        "stats bit-identically\n"
-        "  --smoke                one-point sweep with a tiny budget: "
-        "truncate every\n"
-        "                         axis to its first value and shrink "
-        "instruction/\n"
-        "                         window knobs (CI smoke tests)\n"
+        "  --checkpoint DIR       journal each completed sweep point "
+        "under DIR as\n"
+        "                         workers finish (overwrites an "
+        "existing journal\n"
+        "                         unless --resume is given)\n"
+        "  --resume               with --checkpoint: skip points "
+        "already journaled by\n"
+        "                         an earlier (killed) run and merge "
+        "their rows back in\n"
+        "  --shard I/N            run only the grid points shard I "
+        "of N owns\n"
+        "                         (0-based, round-robin); journals "
+        "to\n"
+        "                         DIR/<scenario>.shard-I-of-N.jsonl "
+        "for `merge`\n"
+        "  --steal                work-stealing worker over a shared "
+        "--checkpoint DIR:\n"
+        "                         claim points via atomic claim "
+        "files, re-run a\n"
+        "                         crashed worker's claims after "
+        "--claim-ttl\n"
+        "  --worker-id ID         unique filename-safe id for "
+        "--steal (default:\n"
+        "                         <hostname>-<pid>)\n"
+        "  --claim-ttl SECONDS    steal claims older than this "
+        "(default: 300)\n"
+        "  --smoke                one-point sweep with a tiny "
+        "budget (CI smoke)\n"
         "  --quiet                suppress per-point progress lines\n"
         "  --no-table             skip the text tables on stdout\n"
-        "  --help                 this message\n");
+        "\n"
+        "merge options:\n"
+        "  --scenario NAME        merge only NAME's journals from "
+        "the given DIRs\n"
+        "  --jobs N               value stamped into the output's "
+        "'jobs' field so it\n"
+        "                         byte-matches a single-host run "
+        "(default: hardware\n"
+        "                         concurrency, like run)\n"
+        "  --out/--csv/--no-table as for run\n"
+        "\n"
+        "record options: --workload NAME (repeatable), --set/--try-"
+        "set, --quiet\n"
+        "replay options: --set mitigation=A,B, --verify, --out "
+        "FILE.json,\n"
+        "                --no-table, --quiet\n"
+        "\n"
+        "The old flat flags (--list, --scenario NAME, --record-trace "
+        "DIR,\n"
+        "--replay FILE) keep working as deprecated aliases for the "
+        "commands\n"
+        "above.\n");
 }
 
 bool
@@ -158,258 +198,315 @@ prepareOutputDir(const std::string &base, const char *extension,
     return true;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Classic dynamic-programming edit distance (for typo hints). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
 {
-    registerBuiltinScenarios();
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t previous = row[j];
+            row[j] = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diagonal = previous;
+        }
+    }
+    return row[b.size()];
+}
 
+/** The closest candidate when plausibly a typo of @p word, else "". */
+std::string
+closestTo(const std::string &word,
+          const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t bestDistance = word.size();
+    for (const std::string &candidate : candidates) {
+        const std::size_t distance = editDistance(word, candidate);
+        if (distance < bestDistance) {
+            bestDistance = distance;
+            best = candidate;
+        }
+    }
+    // A hint further than ~a third of the word away confuses more
+    // than it helps.
+    if (bestDistance > std::max<std::size_t>(2, word.size() / 3))
+        return "";
+    return best;
+}
+
+/** "unknown X 'word' (did you mean 'hint'?)" on stderr; exits 2. */
+[[noreturn]] void
+rejectUnknown(const std::string &what, const std::string &word,
+              const std::vector<std::string> &candidates)
+{
+    const std::string hint = closestTo(word, candidates);
+    std::fprintf(stderr, "pracbench: unknown %s '%s'%s%s%s\n",
+                 what.c_str(), word.c_str(),
+                 hint.empty() ? "" : " (did you mean '",
+                 hint.c_str(), hint.empty() ? "" : "'?)");
+    std::fprintf(stderr, "pracbench: see `pracbench help`\n");
+    std::exit(2);
+}
+
+/** Sweep flags shared by `run` (and partly by record/replay). */
+struct RunCli
+{
     std::vector<std::string> names;
-    SweepOptions options;
+    RunOptions options;
     std::string outJson;
     std::string outCsv;
     std::string checkpointDir;
-    bool resume = false;
-    std::string recordDir;
-    std::string replayPath;
     std::vector<std::string> workloads;
     bool verify = false;
-    bool list = false;
     bool table = true;
     bool smoke = false;
+};
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&](const char *flag) -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "pracbench: %s needs a value\n",
-                             flag);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--list") {
-            list = true;
-        } else if (arg == "--scenario" || arg == "-s") {
-            names.push_back(next("--scenario"));
-        } else if (arg == "--jobs" || arg == "-j") {
-            options.jobs = static_cast<unsigned>(
-                std::strtoul(next("--jobs").c_str(), nullptr, 10));
-        } else if (arg == "--out" || arg == "-o") {
-            outJson = next("--out");
-        } else if (arg == "--csv") {
-            outCsv = next("--csv");
-        } else if (arg == "--checkpoint") {
-            checkpointDir = next("--checkpoint");
-        } else if (arg == "--resume") {
-            resume = true;
-        } else if (arg == "--set" || arg == "--try-set") {
-            const std::string spec = next(arg.c_str());
-            const std::size_t eq = spec.find('=');
-            if (eq == std::string::npos || eq == 0) {
-                std::fprintf(stderr,
-                             "pracbench: %s expects AXIS=V1[,V2]\n",
-                             arg.c_str());
-                return 2;
-            }
-            auto &target = arg == "--set" ? options.overrides
-                                          : options.softOverrides;
-            target[spec.substr(0, eq)] =
-                parseValueList(spec.substr(eq + 1));
-        } else if (arg == "--record-trace") {
-            recordDir = next("--record-trace");
-        } else if (arg == "--workload" || arg == "-w") {
-            workloads.push_back(next("--workload"));
-        } else if (arg == "--replay") {
-            replayPath = next("--replay");
-        } else if (arg == "--verify") {
-            verify = true;
-        } else if (arg == "--smoke") {
-            smoke = true;
-        } else if (arg == "--quiet" || arg == "-q") {
-            options.progress = false;
-        } else if (arg == "--no-table") {
-            table = false;
-        } else if (arg == "--help" || arg == "-h") {
+/** Tiny budgets for every knob a scenario might sweep (--smoke). */
+void
+applySmokeBudgets(RunOptions &options)
+{
+    options.firstPointOnly = true;
+    // Applied after the whole command line is parsed so an explicit
+    // --set/--try-set for the same axis always wins, wherever it
+    // appears relative to --smoke.
+    const std::pair<const char *, JsonValue> tiny[] = {
+        {"warmup", std::int64_t{2'000}},
+        {"measure", std::int64_t{5'000}},
+        {"window_ms", 0.2},
+        {"encryptions", std::int64_t{60}},
+        {"repeats", std::int64_t{1}},
+        {"bits", std::int64_t{4}},
+        {"symbols", std::int64_t{2}},
+        {"message_bits", std::int64_t{4}},
+    };
+    for (const auto &[axis, value] : tiny)
+        if (options.overrides.find(axis) ==
+                options.overrides.end() &&
+            options.softOverrides.find(axis) ==
+                options.softOverrides.end())
+            options.softOverrides[axis] = {value};
+}
+
+/** Parse "I/N" (0-based, I < N); exits 2 with a message when bad. */
+ShardSpec
+parseShardSpec(const std::string &spec)
+{
+    const std::size_t slash = spec.find('/');
+    bool ok = slash != std::string::npos && slash > 0 &&
+              slash + 1 < spec.size();
+    unsigned long index = 0;
+    unsigned long count = 0;
+    if (ok) {
+        char *end = nullptr;
+        index = std::strtoul(spec.c_str(), &end, 10);
+        ok = end == spec.c_str() + slash;
+        count = std::strtoul(spec.c_str() + slash + 1, &end, 10);
+        ok = ok && end == spec.c_str() + spec.size();
+    }
+    if (!ok || count == 0 || index >= count) {
+        std::fprintf(stderr,
+                     "pracbench: --shard expects I/N with 0 <= I < "
+                     "N (e.g. --shard 0/4), got '%s'\n",
+                     spec.c_str());
+        std::exit(2);
+    }
+    ShardSpec shard;
+    shard.index = static_cast<unsigned>(index);
+    shard.count = static_cast<unsigned>(count);
+    return shard;
+}
+
+/** <hostname>-<pid>, restricted to filename-safe characters. */
+std::string
+defaultWorkerId()
+{
+    char host[256] = "host";
+    if (::gethostname(host, sizeof(host) - 1) != 0)
+        std::strcpy(host, "host");
+    host[sizeof(host) - 1] = '\0';
+    std::string id(host);
+    for (char &c : id)
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '-' && c != '_' && c != '.')
+            c = '_';
+    return id + "-" + std::to_string(::getpid());
+}
+
+/** Fetch the value after a flag; exits 2 when it is missing. */
+std::string
+nextValue(const std::vector<std::string> &args, std::size_t &i,
+          const std::string &flag)
+{
+    if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "pracbench: %s needs a value\n",
+                     flag.c_str());
+        std::exit(2);
+    }
+    return args[++i];
+}
+
+/**
+ * Parse the sweep flags every data-producing command shares.
+ * Returns false when @p arg is not one of them (positional or a
+ * command-specific flag).
+ */
+bool
+parseCommonFlag(RunCli &cli, const std::vector<std::string> &args,
+                std::size_t &i)
+{
+    const std::string &arg = args[i];
+    if (arg == "--scenario" || arg == "-s") {
+        cli.names.push_back(nextValue(args, i, arg));
+    } else if (arg == "--jobs" || arg == "-j") {
+        cli.options.jobs = static_cast<unsigned>(
+            std::strtoul(nextValue(args, i, arg).c_str(), nullptr,
+                         10));
+    } else if (arg == "--out" || arg == "-o") {
+        cli.outJson = nextValue(args, i, arg);
+    } else if (arg == "--csv") {
+        cli.outCsv = nextValue(args, i, arg);
+    } else if (arg == "--set" || arg == "--try-set") {
+        const std::string spec = nextValue(args, i, arg);
+        const std::size_t eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::fprintf(stderr,
+                         "pracbench: %s expects AXIS=V1[,V2]\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+        auto &target = arg == "--set" ? cli.options.overrides
+                                      : cli.options.softOverrides;
+        target[spec.substr(0, eq)] =
+            parseValueList(spec.substr(eq + 1));
+    } else if (arg == "--smoke") {
+        cli.smoke = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+        cli.options.progress = false;
+    } else if (arg == "--no-table") {
+        cli.table = false;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+int
+commandList(const std::vector<std::string> &args)
+{
+    for (std::size_t i = 0; i < args.size(); ++i)
+        if (args[i] == "--help" || args[i] == "-h") {
             printUsage();
             return 0;
         } else {
-            std::fprintf(stderr, "pracbench: unknown option '%s'\n",
-                         arg.c_str());
+            rejectUnknown("option for `list`", args[i],
+                          {"--help"});
+        }
+    const ScenarioRegistry &registry = ScenarioRegistry::instance();
+    std::printf("%-28s %7s  %s\n", "scenario", "points", "tags");
+    for (const Scenario *scenario : registry.all()) {
+        std::string tags;
+        for (const std::string &tag : scenario->tags)
+            tags += (tags.empty() ? "" : ", ") + tag;
+        std::printf("%-28s %7zu  %s\n", scenario->name.c_str(),
+                    scenario->grid.size(), tags.c_str());
+        std::printf("    %s\n", scenario->title.c_str());
+    }
+    return 0;
+}
+
+int
+commandRun(const std::vector<std::string> &args)
+{
+    RunCli cli;
+    bool stealWorkerGiven = false;
+    static const std::vector<std::string> known = {
+        "--scenario", "--jobs",       "--out",
+        "--csv",      "--set",        "--try-set",
+        "--smoke",    "--quiet",      "--no-table",
+        "--checkpoint", "--resume",   "--shard",
+        "--steal",    "--worker-id",  "--claim-ttl",
+        "--help"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (parseCommonFlag(cli, args, i))
+            continue;
+        if (arg == "--checkpoint") {
+            cli.checkpointDir = nextValue(args, i, arg);
+        } else if (arg == "--resume") {
+            cli.options.checkpoint.resume = true;
+        } else if (arg == "--shard") {
+            cli.options.shard =
+                parseShardSpec(nextValue(args, i, arg));
+        } else if (arg == "--steal") {
+            cli.options.steal.enabled = true;
+        } else if (arg == "--worker-id") {
+            cli.options.steal.workerId = nextValue(args, i, arg);
+            stealWorkerGiven = true;
+        } else if (arg == "--claim-ttl") {
+            cli.options.steal.claimTtlSeconds =
+                std::strtod(nextValue(args, i, arg).c_str(),
+                            nullptr);
+        } else if (arg == "--help" || arg == "-h") {
             printUsage();
-            return 2;
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `run`", arg, known);
+        } else {
+            cli.names.push_back(arg);
         }
     }
 
-    if (smoke) {
-        options.firstPointOnly = true;
-        // Tiny budgets for every knob a scenario might sweep.
-        // Applied after the whole command line is parsed so an
-        // explicit --set/--try-set for the same axis always wins,
-        // wherever it appears relative to --smoke.
-        const std::pair<const char *, JsonValue> tiny[] = {
-            {"warmup", std::int64_t{2'000}},
-            {"measure", std::int64_t{5'000}},
-            {"window_ms", 0.2},
-            {"encryptions", std::int64_t{60}},
-            {"repeats", std::int64_t{1}},
-            {"bits", std::int64_t{4}},
-            {"symbols", std::int64_t{2}},
-            {"message_bits", std::int64_t{4}},
-        };
-        for (const auto &[axis, value] : tiny)
-            if (options.overrides.find(axis) ==
-                    options.overrides.end() &&
-                options.softOverrides.find(axis) ==
-                    options.softOverrides.end())
-                options.softOverrides[axis] = {value};
-    }
-
-    if (!recordDir.empty() && !replayPath.empty()) {
-        std::fprintf(stderr,
-                     "pracbench: --record-trace and --replay are "
-                     "mutually exclusive\n");
-        return 2;
-    }
-    if ((!recordDir.empty() || !replayPath.empty()) &&
-        !names.empty()) {
-        std::fprintf(stderr,
-                     "pracbench: --record-trace/--replay do not "
-                     "combine with --scenario\n");
-        return 2;
-    }
-    if (!workloads.empty() && recordDir.empty()) {
-        std::fprintf(stderr,
-                     "pracbench: --workload requires "
-                     "--record-trace\n");
-        return 2;
-    }
-    if (verify && replayPath.empty()) {
-        std::fprintf(stderr,
-                     "pracbench: --verify requires --replay\n");
-        return 2;
-    }
-    if (resume && checkpointDir.empty()) {
+    if (cli.smoke)
+        applySmokeBudgets(cli.options);
+    if (cli.options.checkpoint.resume && cli.checkpointDir.empty()) {
         std::fprintf(stderr,
                      "pracbench: --resume requires --checkpoint\n");
         return 2;
     }
-    if (!checkpointDir.empty() &&
-        (!recordDir.empty() || !replayPath.empty())) {
+    if ((stealWorkerGiven ||
+         cli.options.steal.claimTtlSeconds != 300.0) &&
+        !cli.options.steal.enabled) {
         std::fprintf(stderr,
-                     "pracbench: --checkpoint applies to scenario "
-                     "sweeps, not --record-trace/--replay\n");
+                     "pracbench: --worker-id/--claim-ttl require "
+                     "--steal\n");
         return 2;
     }
-
-    if (!recordDir.empty() || !replayPath.empty()) {
-        // Trace modes write .trc files / their own JSON; a scenario
-        // CSV destination would be silently dropped -- reject it.
-        if (!outCsv.empty()) {
-            std::fprintf(stderr,
-                         "pracbench: --csv does not apply to "
-                         "--record-trace/--replay\n");
-            return 2;
-        }
-    }
-
-    if (!recordDir.empty()) {
-        if (!outJson.empty()) {
-            std::fprintf(stderr,
-                         "pracbench: --record-trace writes "
-                         "DIR/<workload>.trc; --out does not "
-                         "apply\n");
-            return 2;
-        }
-        RecordCliOptions record;
-        record.dir = recordDir;
-        record.workloads = workloads;
-        record.progress = options.progress;
-        // Soft overrides (--try-set, --smoke shrink) apply only
-        // where record mode has such a knob; hard --set errors on
-        // unknown keys inside the command.
-        const char *known[] = {"mitigation", "spec",     "nbo",
-                               "nrh",        "warmup",   "measure",
-                               "channels",   "cores"};
-        for (const auto &[axis, values] : options.softOverrides)
-            for (const char *name : known)
-                if (axis == name)
-                    record.settings[axis] = values;
-        for (const auto &[axis, values] : options.overrides)
-            record.settings[axis] = values;
-        return runRecordTraceCommand(record);
-    }
-
-    if (!replayPath.empty()) {
-        ReplayCliOptions replay;
-        replay.tracePath = replayPath;
-        replay.verify = verify;
-        replay.outJson = outJson;
-        replay.table = table;
-        replay.progress = options.progress;
-        // Hard --set keeps its contract: anything replay cannot
-        // honour is an error, not a silent no-op (the stream is
-        // fixed; only the defense can vary).
-        for (const auto &[axis, values] : options.overrides) {
-            (void)values;
-            if (axis != "mitigation") {
-                std::fprintf(stderr,
-                             "pracbench: --replay supports only "
-                             "--set mitigation=... (the recorded "
-                             "stream pins every other knob)\n");
-                return 2;
-            }
-        }
-        for (const auto *set :
-             {&options.overrides, &options.softOverrides}) {
-            const auto it = set->find("mitigation");
-            if (it == set->end() || !replay.mitigations.empty())
-                continue;
-            for (const JsonValue &value : it->second)
-                replay.mitigations.push_back(value.asString());
-        }
-        // Replay writes outJson verbatim as one file; a directory
-        // form would only fail at emission time, after the sweep.
-        if (!outJson.empty() && !endsWith(outJson, ".json")) {
-            std::fprintf(stderr,
-                         "pracbench: --replay --out must be a .json "
-                         "file path\n");
-            return 2;
-        }
-        if (!prepareOutputDir(outJson, ".json", /*single=*/true))
-            return 2;
-        return runReplayCommand(replay);
-    }
+    if (cli.options.steal.enabled &&
+        cli.options.steal.workerId.empty())
+        cli.options.steal.workerId = defaultWorkerId();
+    cli.options.checkpoint.directory = cli.checkpointDir;
 
     const ScenarioRegistry &registry = ScenarioRegistry::instance();
-
-    if (list) {
-        std::printf("%-28s %7s  %s\n", "scenario", "points", "tags");
-        for (const Scenario *scenario : registry.all()) {
-            std::string tags;
-            for (const std::string &tag : scenario->tags)
-                tags += (tags.empty() ? "" : ", ") + tag;
-            std::printf("%-28s %7zu  %s\n", scenario->name.c_str(),
-                        scenario->grid.size(), tags.c_str());
-            std::printf("    %s\n", scenario->title.c_str());
-        }
-        return 0;
-    }
-
-    if (names.empty()) {
-        printUsage();
+    if (cli.names.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: run needs at least one scenario "
+                     "name (or 'all'); try `pracbench list`\n");
         return 2;
     }
-    if (names.size() == 1 && names[0] == "all") {
-        names.clear();
+    if (cli.names.size() == 1 && cli.names[0] == "all") {
+        cli.names.clear();
         for (const Scenario *scenario : registry.all())
-            names.push_back(scenario->name);
+            cli.names.push_back(scenario->name);
     }
+    // Validate every name before running anything: a typo in the
+    // third of five scenarios must not surface hours into the first.
+    std::vector<std::string> knownNames;
+    for (const Scenario *scenario : registry.all())
+        knownNames.push_back(scenario->name);
+    for (const std::string &name : cli.names)
+        if (!registry.find(name))
+            rejectUnknown("scenario", name, knownNames);
 
-    const bool single = names.size() == 1;
-    if (!single && (endsWith(outJson, ".json") ||
-                    endsWith(outCsv, ".csv"))) {
+    const bool single = cli.names.size() == 1;
+    if (!single && (endsWith(cli.outJson, ".json") ||
+                    endsWith(cli.outCsv, ".csv"))) {
         std::fprintf(stderr,
                      "pracbench: multiple scenarios need a directory "
                      "for --out/--csv, not a file path\n");
@@ -417,37 +514,34 @@ main(int argc, char **argv)
     }
     // Fail fast on bad output locations: create them now rather
     // than discovering a missing/unwritable directory at emission
-    // time, after a long sweep.  (--checkpoint DIR is always a
-    // directory; the journal is DIR/<scenario>.jsonl.)
-    if (!prepareOutputDir(outJson, ".json", single) ||
-        !prepareOutputDir(outCsv, ".csv", single) ||
-        !prepareOutputDir(checkpointDir, ".jsonl", /*single=*/false))
+    // time, after a long sweep.
+    if (!prepareOutputDir(cli.outJson, ".json", single) ||
+        !prepareOutputDir(cli.outCsv, ".csv", single) ||
+        !prepareOutputDir(cli.checkpointDir, ".jsonl",
+                          /*single=*/false))
         return 2;
-    options.resume = resume;
-    for (const std::string &name : names) {
+
+    for (const std::string &name : cli.names) {
         try {
-            if (!checkpointDir.empty())
-                options.checkpointPath =
-                    journalPath(checkpointDir, name);
             const SweepResult result =
-                runScenarioByName(name, options);
-            if (table)
+                runScenarioByName(name, cli.options);
+            if (cli.table)
                 printTables(result);
             // Finalize via temp + atomic rename: a crash during
             // emission must never leave a torn artifact that a
             // later --resume (or a results consumer) trusts.
-            if (!outJson.empty()) {
-                const std::string path =
-                    outputPath(outJson, name, ".json", single);
+            if (!cli.outJson.empty()) {
+                const std::string path = outputPath(
+                    cli.outJson, name, ".json", single);
                 if (!writeFileAtomic(path,
                                      result.toJson().dump(2) + "\n"))
                     return 1;
                 std::fprintf(stderr, "pracbench: wrote %s\n",
                              path.c_str());
             }
-            if (!outCsv.empty()) {
+            if (!cli.outCsv.empty()) {
                 const std::string path =
-                    outputPath(outCsv, name, ".csv", single);
+                    outputPath(cli.outCsv, name, ".csv", single);
                 if (!writeFileAtomic(path, result.toCsv()))
                     return 1;
                 std::fprintf(stderr, "pracbench: wrote %s\n",
@@ -459,4 +553,321 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+int
+commandMerge(const std::vector<std::string> &args)
+{
+    std::vector<std::string> sources;
+    std::string scenarioFilter;
+    std::string outJson;
+    std::string outCsv;
+    unsigned jobs = 0;
+    bool table = true;
+    static const std::vector<std::string> known = {
+        "--scenario", "--jobs", "--out", "--csv", "--no-table",
+        "--help"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--scenario" || arg == "-s") {
+            scenarioFilter = nextValue(args, i, arg);
+        } else if (arg == "--jobs" || arg == "-j") {
+            jobs = static_cast<unsigned>(std::strtoul(
+                nextValue(args, i, arg).c_str(), nullptr, 10));
+        } else if (arg == "--out" || arg == "-o") {
+            outJson = nextValue(args, i, arg);
+        } else if (arg == "--csv") {
+            outCsv = nextValue(args, i, arg);
+        } else if (arg == "--no-table") {
+            table = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `merge`", arg, known);
+        } else {
+            sources.push_back(arg);
+        }
+    }
+    if (sources.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: merge needs checkpoint "
+                     "directories and/or journal files\n");
+        return 2;
+    }
+
+    try {
+        std::vector<std::string> paths;
+        for (const std::string &source : sources) {
+            std::error_code ec;
+            if (std::filesystem::is_directory(source, ec)) {
+                for (std::string &path :
+                     journalFilesFor(source, scenarioFilter))
+                    paths.push_back(std::move(path));
+            } else {
+                // An explicit file bypasses the scenario filter:
+                // naming it IS the filter.
+                paths.push_back(source);
+            }
+        }
+        if (paths.empty()) {
+            std::fprintf(stderr,
+                         "pracbench: no%s%s journals found under "
+                         "the given directories\n",
+                         scenarioFilter.empty() ? "" : " ",
+                         scenarioFilter.c_str());
+            return 2;
+        }
+
+        // Stamp the same 'jobs' the equivalent single-host run
+        // would record (0 resolves exactly like ThreadPool does),
+        // so the merged JSON can byte-match it.
+        if (jobs == 0)
+            jobs =
+                std::max(2u, std::thread::hardware_concurrency());
+        const SweepResult result = mergeSweepFromJournals(paths, jobs);
+        if (table)
+            printTables(result);
+        if (!prepareOutputDir(outJson, ".json", /*single=*/true) ||
+            !prepareOutputDir(outCsv, ".csv", /*single=*/true))
+            return 2;
+        if (!outJson.empty()) {
+            const std::string path = outputPath(
+                outJson, result.scenario, ".json", /*single=*/true);
+            if (!writeFileAtomic(path,
+                                 result.toJson().dump(2) + "\n"))
+                return 1;
+            std::fprintf(stderr, "pracbench: wrote %s\n",
+                         path.c_str());
+        }
+        if (!outCsv.empty()) {
+            const std::string path = outputPath(
+                outCsv, result.scenario, ".csv", /*single=*/true);
+            if (!writeFileAtomic(path, result.toCsv()))
+                return 1;
+            std::fprintf(stderr, "pracbench: wrote %s\n",
+                         path.c_str());
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "pracbench: %s\n", error.what());
+        return 2;
+    }
+    return 0;
+}
+
+int
+commandRecord(const std::vector<std::string> &args)
+{
+    RunCli cli;
+    std::vector<std::string> dirs;
+    static const std::vector<std::string> known = {
+        "--workload", "--set", "--try-set", "--smoke", "--quiet",
+        "--help"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--workload" || arg == "-w") {
+            cli.workloads.push_back(nextValue(args, i, arg));
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (parseCommonFlag(cli, args, i)) {
+            // --out/--csv/--scenario/--jobs parse but make no sense
+            // here; reject below for a precise message.
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `record`", arg, known);
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (dirs.size() != 1) {
+        std::fprintf(stderr,
+                     "pracbench: record needs exactly one trace "
+                     "directory\n");
+        return 2;
+    }
+    if (!cli.outJson.empty() || !cli.outCsv.empty() ||
+        !cli.names.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: record writes DIR/<workload>.trc; "
+                     "--out/--csv/--scenario do not apply\n");
+        return 2;
+    }
+    if (cli.smoke)
+        applySmokeBudgets(cli.options);
+
+    RecordCliOptions record;
+    record.dir = dirs[0];
+    record.workloads = cli.workloads;
+    record.progress = cli.options.progress;
+    // Soft overrides (--try-set, --smoke shrink) apply only where
+    // record mode has such a knob; hard --set errors on unknown
+    // keys inside the command.
+    const char *knownKeys[] = {"mitigation", "spec",    "nbo",
+                               "nrh",        "warmup",  "measure",
+                               "channels",   "cores"};
+    for (const auto &[axis, values] : cli.options.softOverrides)
+        for (const char *name : knownKeys)
+            if (axis == name)
+                record.settings[axis] = values;
+    for (const auto &[axis, values] : cli.options.overrides)
+        record.settings[axis] = values;
+    return runRecordTraceCommand(record);
+}
+
+int
+commandReplay(const std::vector<std::string> &args)
+{
+    RunCli cli;
+    std::vector<std::string> files;
+    static const std::vector<std::string> known = {
+        "--set",      "--try-set", "--verify", "--out",
+        "--no-table", "--quiet",   "--help"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--verify") {
+            cli.verify = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (parseCommonFlag(cli, args, i)) {
+            // handled
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `replay`", arg, known);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 1) {
+        std::fprintf(stderr,
+                     "pracbench: replay needs exactly one trace "
+                     "file\n");
+        return 2;
+    }
+    if (!cli.outCsv.empty() || !cli.names.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --csv/--scenario do not apply to "
+                     "replay\n");
+        return 2;
+    }
+
+    ReplayCliOptions replay;
+    replay.tracePath = files[0];
+    replay.verify = cli.verify;
+    replay.outJson = cli.outJson;
+    replay.table = cli.table;
+    replay.progress = cli.options.progress;
+    // Hard --set keeps its contract: anything replay cannot honour
+    // is an error, not a silent no-op (the stream is fixed; only
+    // the defense can vary).
+    for (const auto &[axis, values] : cli.options.overrides) {
+        (void)values;
+        if (axis != "mitigation") {
+            std::fprintf(stderr,
+                         "pracbench: replay supports only --set "
+                         "mitigation=... (the recorded stream pins "
+                         "every other knob)\n");
+            return 2;
+        }
+    }
+    for (const auto *set :
+         {&cli.options.overrides, &cli.options.softOverrides}) {
+        const auto it = set->find("mitigation");
+        if (it == set->end() || !replay.mitigations.empty())
+            continue;
+        for (const JsonValue &value : it->second)
+            replay.mitigations.push_back(value.asString());
+    }
+    // Replay writes outJson verbatim as one file; a directory form
+    // would only fail at emission time, after the sweep.
+    if (!replay.outJson.empty() &&
+        !endsWith(replay.outJson, ".json")) {
+        std::fprintf(stderr,
+                     "pracbench: replay --out must be a .json file "
+                     "path\n");
+        return 2;
+    }
+    if (!prepareOutputDir(replay.outJson, ".json", /*single=*/true))
+        return 2;
+    return runReplayCommand(replay);
+}
+
+/**
+ * Map a pre-subcommand flat command line onto a subcommand.  The
+ * mode flag (--list/--record-trace/--replay, default run) is
+ * removed from @p args; everything else parses unchanged because
+ * the subcommands kept every flat flag as an alias.
+ */
+std::string
+translateLegacy(std::vector<std::string> &args)
+{
+    std::string command = "run";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h")
+            return "help";
+        if (arg == "--list") {
+            args.erase(args.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+            command = "list";
+            break;
+        }
+        if (arg == "--record-trace") {
+            // Keep the DIR value: it becomes record's positional.
+            args.erase(args.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+            command = "record";
+            break;
+        }
+        if (arg == "--replay") {
+            args.erase(args.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+            command = "replay";
+            break;
+        }
+    }
+    std::fprintf(stderr,
+                 "pracbench: note: flat flags are deprecated; use "
+                 "`pracbench %s ...` (see `pracbench help`)\n",
+                 command.c_str());
+    return command;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerBuiltinScenarios();
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        printUsage();
+        return 2;
+    }
+
+    std::string command;
+    if (args[0][0] != '-') {
+        command = args[0];
+        args.erase(args.begin());
+    } else {
+        command = translateLegacy(args);
+    }
+
+    if (command == "help") {
+        printUsage();
+        return 0;
+    }
+    if (command == "list")
+        return commandList(args);
+    if (command == "run")
+        return commandRun(args);
+    if (command == "merge")
+        return commandMerge(args);
+    if (command == "record")
+        return commandRecord(args);
+    if (command == "replay")
+        return commandReplay(args);
+    rejectUnknown("command", command,
+                  {"run", "list", "merge", "record", "replay",
+                   "help"});
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace pracleak::sim {
 
@@ -68,6 +69,281 @@ collectColumns(const std::vector<ResultRow> &rows)
                 columns.push_back(name);
         }
     return columns;
+}
+
+/** Reject option combinations that cannot mean anything coherent. */
+void
+validateRunOptions(const RunOptions &options)
+{
+    if (options.shard.active() && options.steal.enabled)
+        throw std::invalid_argument(
+            "--shard and --steal are mutually exclusive: a static "
+            "partition and dynamic claiming cannot both own the "
+            "point space");
+    if (options.shard.active() &&
+        options.shard.index >= options.shard.count)
+        throw std::invalid_argument(
+            "shard index must satisfy 0 <= I < N in --shard I/N");
+    if ((options.shard.active() || options.steal.enabled) &&
+        options.checkpoint.directory.empty())
+        throw std::invalid_argument(
+            "--shard/--steal require a checkpoint directory: the "
+            "journals are how the fleet's partial results meet "
+            "again");
+    if (options.steal.enabled && options.checkpoint.resume)
+        throw std::invalid_argument(
+            "--resume is implied by --steal (a worker always "
+            "resumes its own journal); drop the flag");
+    if (options.steal.enabled && options.steal.workerId.empty())
+        throw std::invalid_argument(
+            "--steal requires a worker id unique within the "
+            "checkpoint directory");
+}
+
+/** The scenario's grid with all of @p options' overrides applied. */
+ParamGrid
+effectiveGrid(const Scenario &scenario, const RunOptions &options)
+{
+    ParamGrid grid = scenario.grid;
+    for (const auto &[axis, values] : options.overrides)
+        grid.overrideAxis(axis, values);
+    for (const auto &[axis, values] : options.softOverrides)
+        if (grid.findAxis(axis))
+            grid.overrideAxis(axis, values);
+    if (options.firstPointOnly)
+        for (const ParamAxis &axis : scenario.grid.axes())
+            if (const ParamAxis *effective = grid.findAxis(axis.name))
+                grid.overrideAxis(axis.name, {effective->values[0]});
+    return grid;
+}
+
+/**
+ * Whole-grid and static-shard execution: run every owned,
+ * not-yet-journaled point through the pool, journaling as workers
+ * finish.  Both restored and live rows land in per-point slots, so
+ * the output is ordered by grid index -- independent of --jobs,
+ * kill timing, and completion order.
+ */
+SweepResult
+runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
+              const RunOptions &options)
+{
+    ThreadPool pool(options.jobs);
+    const std::size_t n = grid.size();
+    const ShardSpec shard = options.shard;
+
+    SweepResult result;
+    result.scenario = scenario.name;
+    result.title = scenario.title;
+    result.notes = scenario.notes;
+    result.grid = grid.toJson();
+    result.jobs = pool.threadCount();
+    result.points = n;
+
+    std::vector<std::size_t> owned;
+    owned.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (shardOwns(i, shard))
+            owned.push_back(i);
+
+    CheckpointState restored;
+    std::unique_ptr<JournalWriter> journal;
+    if (!options.checkpoint.directory.empty()) {
+        const std::string path =
+            shard.active()
+                ? shardJournalPath(options.checkpoint.directory,
+                                   scenario.name, shard)
+                : journalPath(options.checkpoint.directory,
+                              scenario.name);
+        if (options.checkpoint.resume)
+            restored = loadJournal(path, scenario.name, result.grid,
+                                   n, shard);
+        journal = std::make_unique<JournalWriter>(
+            path,
+            journalHeader(scenario.name, result.grid, n, shard),
+            restored.hasHeader, restored.validBytes,
+            scenario.checkpointEvery);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t total = owned.size();
+    std::atomic<std::size_t> completed{restored.rowsByPoint.size()};
+    std::mutex printMutex;
+
+    std::vector<std::vector<ResultRow>> rowsPerPoint(n);
+    std::vector<std::size_t> pendingPoints;
+    pendingPoints.reserve(total);
+    for (const std::size_t i : owned) {
+        const auto it = restored.rowsByPoint.find(i);
+        if (it == restored.rowsByPoint.end())
+            pendingPoints.push_back(i);
+        else
+            rowsPerPoint[i] = std::move(it->second);
+    }
+    if (options.progress && !restored.rowsByPoint.empty())
+        std::fprintf(stderr,
+                     "[%3zu/%zu] %s resumed from checkpoint%s\n",
+                     restored.rowsByPoint.size(), total,
+                     scenario.name.c_str(),
+                     restored.droppedTornTail
+                         ? " (torn final record re-run)"
+                         : "");
+
+    std::vector<std::function<std::vector<ResultRow>()>> jobs;
+    jobs.reserve(pendingPoints.size());
+    for (const std::size_t i : pendingPoints) {
+        jobs.push_back([&, i] {
+            const ParamSet params = grid.point(i);
+            std::vector<ResultRow> rows = scenario.runPoint(params);
+            for (ResultRow &row : rows)
+                row = mergeParams(params, std::move(row));
+            // Journal before reporting done: a kill after the
+            // progress line can never lose an unjournaled point.
+            if (journal)
+                journal->writePoint(i, rows);
+            const std::size_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (options.progress) {
+                const std::lock_guard<std::mutex> lock(printMutex);
+                std::fprintf(stderr, "[%3zu/%zu] %s %s\n", done,
+                             total, scenario.name.c_str(),
+                             params.label().c_str());
+            }
+            return rows;
+        });
+    }
+    auto rowsPerJob = pool.map(std::move(jobs));
+    for (std::size_t k = 0; k < pendingPoints.size(); ++k)
+        rowsPerPoint[pendingPoints[k]] = std::move(rowsPerJob[k]);
+
+    if (journal)
+        journal->flush();
+
+    for (auto &rows : rowsPerPoint)
+        for (ResultRow &row : rows)
+            result.rows.push_back(std::move(row));
+    if (scenario.summarize)
+        result.summary = scenario.summarize(result.rows);
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+/**
+ * Work-stealing execution over a shared checkpoint directory.  Each
+ * pool thread scans the grid claiming points (sim/checkpoint.h
+ * PointClaims); every completed point is journaled, flushed, then
+ * published via a done marker.  When every point carries a marker,
+ * the worker fuses *all* journals in the directory -- its own and
+ * its peers' -- into the complete result, so any worker can emit
+ * the final artifacts.
+ */
+SweepResult
+runSweepStealing(const Scenario &scenario, const ParamGrid &grid,
+                 const RunOptions &options)
+{
+    ThreadPool pool(options.jobs);
+    const std::size_t n = grid.size();
+    const std::string &directory = options.checkpoint.directory;
+    const std::string &worker = options.steal.workerId;
+    const JsonValue gridJson = grid.toJson();
+
+    const std::string path =
+        workerJournalPath(directory, scenario.name, worker);
+    // A restarted worker always continues its own journal: its
+    // previous points are durable and must not be re-run (or worse,
+    // the journal truncated and their done markers orphaned).
+    const CheckpointState restored =
+        loadJournal(path, scenario.name, gridJson, n, {}, worker);
+    // flushEvery = 1 regardless of Scenario::checkpointEvery: the
+    // done marker published after each point promises other workers
+    // the journal record is durable, so it must be flushed first.
+    JournalWriter journal(
+        path, journalHeader(scenario.name, gridJson, n, {}, worker),
+        restored.hasHeader, restored.validBytes, 1);
+    PointClaims claims(directory, scenario.name, worker,
+                       options.steal.claimTtlSeconds);
+
+    // A previous incarnation may have died between flushing a record
+    // and publishing its marker; (re-)publish everything the journal
+    // proves durable.
+    for (const auto &[index, rows] : restored.rowsByPoint) {
+        (void)rows;
+        claims.markDone(index);
+    }
+    if (options.progress && !restored.rowsByPoint.empty())
+        std::fprintf(stderr,
+                     "[worker %s] resumed %zu journaled points\n",
+                     worker.c_str(), restored.rowsByPoint.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> ranHere{0};
+    std::mutex printMutex;
+
+    std::vector<std::function<void()>> tasks;
+    for (unsigned t = 0; t < pool.threadCount(); ++t) {
+        tasks.push_back([&] {
+            while (true) {
+                bool allDone = true;
+                bool claimedAny = false;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (claims.isDone(i))
+                        continue;
+                    allDone = false;
+                    if (!claims.tryClaim(i))
+                        continue;
+                    claimedAny = true;
+                    const ParamSet params = grid.point(i);
+                    std::vector<ResultRow> rows =
+                        scenario.runPoint(params);
+                    for (ResultRow &row : rows)
+                        row = mergeParams(params, std::move(row));
+                    journal.writePoint(i, rows); // flushed (every=1)
+                    claims.markDone(i);
+                    claims.release(i);
+                    const std::size_t done =
+                        ranHere.fetch_add(
+                            1, std::memory_order_relaxed) +
+                        1;
+                    if (options.progress) {
+                        const std::lock_guard<std::mutex> lock(
+                            printMutex);
+                        std::fprintf(
+                            stderr,
+                            "[worker %s] point %zu/%zu %s (%zu run "
+                            "here)\n",
+                            worker.c_str(), i + 1, n,
+                            params.label().c_str(), done);
+                    }
+                }
+                if (allDone)
+                    break;
+                // Everything unfinished is claimed by someone else:
+                // back off instead of hammering the filesystem.
+                if (!claimedAny)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            options.steal.pollSeconds));
+            }
+        });
+    }
+    pool.run(std::move(tasks));
+    journal.flush();
+
+    // Every point now carries a done marker, and markers guarantee a
+    // flushed journal record somewhere in the directory.
+    SweepResult result = assembleMergedResult(
+        scenario,
+        mergeJournals(journalFilesFor(directory, scenario.name)),
+        pool.threadCount());
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
 }
 
 } // namespace
@@ -130,123 +406,70 @@ SweepResult::toCsv() const
 }
 
 SweepResult
-runScenario(const Scenario &scenario, const SweepOptions &options)
+runScenario(const Scenario &scenario, const RunOptions &options)
 {
-    ParamGrid grid = scenario.grid;
-    for (const auto &[axis, values] : options.overrides)
-        grid.overrideAxis(axis, values);
-    for (const auto &[axis, values] : options.softOverrides)
-        if (grid.findAxis(axis))
-            grid.overrideAxis(axis, values);
-    if (options.firstPointOnly)
-        for (const ParamAxis &axis : scenario.grid.axes())
-            if (const ParamAxis *effective = grid.findAxis(axis.name))
-                grid.overrideAxis(axis.name, {effective->values[0]});
-
-    ThreadPool pool(options.jobs);
-    const std::size_t n = grid.size();
-
-    SweepResult result;
-    result.scenario = scenario.name;
-    result.title = scenario.title;
-    result.notes = scenario.notes;
-    result.grid = grid.toJson();
-    result.jobs = pool.threadCount();
-    result.points = n;
-
-    // Checkpointing: recover already-journaled points, then journal
-    // each newly completed one as workers finish.  Both the restored
-    // rows and the live ones land in a per-point slot, so the merged
-    // output is ordered by grid index -- independent of --jobs, kill
-    // timing, and completion order.
-    CheckpointState restored;
-    std::unique_ptr<JournalWriter> journal;
-    if (!options.checkpointPath.empty()) {
-        if (options.resume)
-            restored = loadJournal(options.checkpointPath,
-                                   scenario.name, result.grid, n);
-        journal = std::make_unique<JournalWriter>(
-            options.checkpointPath,
-            journalHeader(scenario.name, result.grid, n),
-            restored.hasHeader, restored.validBytes,
-            scenario.checkpointEvery);
-    }
-
-    const auto start = std::chrono::steady_clock::now();
-    std::atomic<std::size_t> completed{restored.rowsByPoint.size()};
-    std::mutex printMutex;
-
-    std::vector<std::vector<ResultRow>> rowsPerPoint(n);
-    std::vector<std::size_t> pendingPoints;
-    pendingPoints.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto it = restored.rowsByPoint.find(i);
-        if (it == restored.rowsByPoint.end())
-            pendingPoints.push_back(i);
-        else
-            rowsPerPoint[i] = std::move(it->second);
-    }
-    if (options.progress && !restored.rowsByPoint.empty())
-        std::fprintf(stderr,
-                     "[%3zu/%zu] %s resumed from checkpoint%s\n",
-                     restored.rowsByPoint.size(), n,
-                     scenario.name.c_str(),
-                     restored.droppedTornTail
-                         ? " (torn final record re-run)"
-                         : "");
-
-    std::vector<std::function<std::vector<ResultRow>()>> jobs;
-    jobs.reserve(pendingPoints.size());
-    for (const std::size_t i : pendingPoints) {
-        jobs.push_back([&, i] {
-            const ParamSet params = grid.point(i);
-            std::vector<ResultRow> rows = scenario.runPoint(params);
-            for (ResultRow &row : rows)
-                row = mergeParams(params, std::move(row));
-            // Journal before reporting done: a kill after the
-            // progress line can never lose an unjournaled point.
-            if (journal)
-                journal->writePoint(i, rows);
-            const std::size_t done =
-                completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (options.progress) {
-                const std::lock_guard<std::mutex> lock(printMutex);
-                std::fprintf(stderr, "[%3zu/%zu] %s %s\n", done, n,
-                             scenario.name.c_str(),
-                             params.label().c_str());
-            }
-            return rows;
-        });
-    }
-    auto rowsPerJob = pool.map(std::move(jobs));
-    for (std::size_t k = 0; k < pendingPoints.size(); ++k)
-        rowsPerPoint[pendingPoints[k]] = std::move(rowsPerJob[k]);
-
-    if (journal)
-        journal->flush();
-
-    for (auto &rows : rowsPerPoint)
-        for (ResultRow &row : rows)
-            result.rows.push_back(std::move(row));
-    if (scenario.summarize)
-        result.summary = scenario.summarize(result.rows);
-
-    result.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    return result;
+    validateRunOptions(options);
+    const ParamGrid grid = effectiveGrid(scenario, options);
+    if (options.steal.enabled)
+        return runSweepStealing(scenario, grid, options);
+    return runSweepLocal(scenario, grid, options);
 }
 
 SweepResult
-runScenarioByName(const std::string &name, const SweepOptions &options)
+runScenarioByName(const std::string &name, const RunOptions &options)
 {
     const Scenario *scenario =
         ScenarioRegistry::instance().find(name);
     if (!scenario)
         throw std::invalid_argument("unknown scenario '" + name +
-                                    "' (try --list)");
+                                    "' (try `pracbench list`)");
     return runScenario(*scenario, options);
+}
+
+SweepResult
+assembleMergedResult(const Scenario &scenario,
+                     const MergedJournals &merged, unsigned jobs)
+{
+    if (scenario.name != merged.scenario)
+        throw std::invalid_argument(
+            "merged journals are for scenario '" + merged.scenario +
+            "', not '" + scenario.name + "'");
+
+    SweepResult result;
+    result.scenario = scenario.name;
+    result.title = scenario.title;
+    result.notes = scenario.notes;
+    // The grid comes from the journal header (hash-verified against
+    // the header's own pin), not from the live scenario: the sweep
+    // may have run with --set overrides the merge never sees.
+    result.grid = merged.grid;
+    result.jobs = jobs;
+    result.points = merged.points;
+    // rowsByPoint is an ordered map, so rows land in grid-index
+    // order -- exactly the order a single-host run concatenates.
+    for (const auto &[index, rows] : merged.rowsByPoint) {
+        (void)index;
+        for (const ResultRow &row : rows)
+            result.rows.push_back(row);
+    }
+    if (scenario.summarize)
+        result.summary = scenario.summarize(result.rows);
+    return result;
+}
+
+SweepResult
+mergeSweepFromJournals(const std::vector<std::string> &paths,
+                       unsigned jobs)
+{
+    MergedJournals merged = mergeJournals(paths);
+    const Scenario *scenario =
+        ScenarioRegistry::instance().find(merged.scenario);
+    if (!scenario)
+        throw std::runtime_error(
+            "journals name scenario '" + merged.scenario +
+            "', which this build does not register -- merge with "
+            "the build that ran the sweep");
+    return assembleMergedResult(*scenario, merged, jobs);
 }
 
 namespace {
@@ -308,7 +531,7 @@ void
 runAndPrint(const std::string &name)
 {
     registerBuiltinScenarios();
-    SweepOptions options;
+    RunOptions options;
     options.progress = false;
     printTables(runScenarioByName(name, options));
 }

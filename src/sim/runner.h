@@ -3,6 +3,12 @@
  * Parallel sweep runner: enumerate a scenario's parameter grid, fan
  * the points across a thread pool, collect per-point result rows,
  * and emit machine-readable JSON / CSV plus an aligned text table.
+ *
+ * A sweep can run on one host, as one deterministic shard of an
+ * N-host fleet (RunOptions::shard), or as a work-stealing worker
+ * over a shared checkpoint directory (RunOptions::steal); the
+ * journals any of those modes leave behind fuse back into one
+ * byte-identical result via mergeSweepFromJournals().
  */
 
 #ifndef PRACLEAK_SIM_RUNNER_H
@@ -12,13 +18,19 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/scenario.h"
 #include "sim/thread_pool.h"
 
 namespace pracleak::sim {
 
-/** Knobs for one sweep invocation. */
-struct SweepOptions
+/**
+ * Every knob for one sweep invocation, with defaults that mean "run
+ * the whole grid on this host and print progress".  New execution
+ * modes add a nested group here instead of a new runScenario
+ * parameter, so callers and tests stop rippling per feature.
+ */
+struct RunOptions
 {
     /** Worker threads; 0 = hardware concurrency. */
     unsigned jobs = 0;
@@ -43,23 +55,72 @@ struct SweepOptions
      */
     bool firstPointOnly = false;
 
-    /**
-     * Journal each completed point to this append-only JSONL file
-     * (sim/checkpoint.h) as workers finish; "" disables.  Without
-     * `resume` an existing journal is overwritten.
-     */
-    std::string checkpointPath;
+    /** Restart-safety: journal completed points under a directory. */
+    struct Checkpoint
+    {
+        /**
+         * Journal each completed point to an append-only JSONL file
+         * (sim/checkpoint.h) under this directory as workers finish;
+         * "" disables.  The file name encodes the execution mode:
+         * `<scenario>.jsonl` for a whole-grid run,
+         * `<scenario>.shard-I-of-N.jsonl` for a shard, and
+         * `<scenario>.worker-<id>.jsonl` for a work-stealing worker.
+         */
+        std::string directory;
+
+        /**
+         * Load the existing journal, skip its completed points, and
+         * merge their rows back in -- the final result is
+         * byte-identical (modulo wall_seconds and the provenance
+         * timestamp) to an uninterrupted run.  Without it an
+         * existing journal is overwritten.  Throws
+         * std::runtime_error when the journal belongs to a different
+         * sweep (scenario, grid hash, git revision, shard spec).  A
+         * missing journal is a fresh start.
+         */
+        bool resume = false;
+    };
+    Checkpoint checkpoint;
 
     /**
-     * Load an existing journal at checkpointPath, skip its completed
-     * points, and merge their rows back in -- the final result is
-     * byte-identical (modulo wall_seconds and the provenance
-     * timestamp) to an uninterrupted run.  Throws std::runtime_error
-     * when the journal belongs to a different sweep (scenario, grid
-     * hash, git revision).  A missing journal is a fresh start.
+     * Static fleet partition: run only the grid points this shard
+     * owns (round-robin by index; see shardOwns()).  Requires
+     * checkpoint.directory -- a shard's whole purpose is the journal
+     * it leaves for `pracbench merge`.  Mutually exclusive with
+     * steal.
      */
-    bool resume = false;
+    ShardSpec shard;
+
+    /** Dynamic fleet partition: work stealing over a shared dir. */
+    struct Steal
+    {
+        /**
+         * Claim points via O_EXCL claim files in
+         * checkpoint.directory instead of a static shard: any number
+         * of workers share one directory, stragglers don't gate the
+         * fleet, and a crashed worker's claims expire (claimTtl) and
+         * get re-run.  Requires checkpoint.directory and a workerId;
+         * the worker's own journal is always resumed, so
+         * checkpoint.resume must stay false.  Every point is flushed
+         * individually (done markers promise durability to other
+         * workers), overriding Scenario::checkpointEvery.
+         */
+        bool enabled = false;
+
+        /** Filename-safe unique id (alphanumerics, '-', '_', '.'). */
+        std::string workerId;
+
+        /** A claim older than this is presumed dead and stolen. */
+        double claimTtlSeconds = 300.0;
+
+        /** Idle backoff between scans when nothing was claimable. */
+        double pollSeconds = 0.05;
+    };
+    Steal steal;
 };
+
+/** Deprecated name for RunOptions; new code should spell it out. */
+using SweepOptions = RunOptions;
 
 /** Everything a sweep produced. */
 struct SweepResult
@@ -71,7 +132,7 @@ struct SweepResult
     std::vector<ResultRow> rows;     //!< point params merged in
     std::vector<ResultRow> summary;
     unsigned jobs = 0;
-    std::size_t points = 0;
+    std::size_t points = 0;          //!< full grid size, even sharded
     double wallSeconds = 0.0;
 
     JsonValue toJson() const;
@@ -80,14 +141,42 @@ struct SweepResult
 
 /**
  * Run @p scenario under @p options.  Throws std::invalid_argument
- * for bad axis overrides; exceptions from scenario points propagate.
+ * for bad axis overrides or an inconsistent option set (shard and
+ * steal together, shard/steal without a checkpoint directory, shard
+ * index out of range, steal without a worker id); exceptions from
+ * scenario points propagate.
  */
 SweepResult runScenario(const Scenario &scenario,
-                        const SweepOptions &options = {});
+                        const RunOptions &options = {});
 
 /** runScenario by registry name; throws when the name is unknown. */
 SweepResult runScenarioByName(const std::string &name,
-                              const SweepOptions &options = {});
+                              const RunOptions &options = {});
+
+/**
+ * Build a SweepResult from journals fused by mergeJournals(): rows
+ * in grid-index order, summary recomputed by the scenario's own
+ * summarize hook, grid taken from the (hash-verified) journal
+ * header.  @p jobs is stamped into the result verbatim so the JSON
+ * can be byte-compared against a single-host run's.  wallSeconds is
+ * left 0 -- merge does no sweeping.  Throws std::invalid_argument
+ * when @p merged belongs to a different scenario.
+ */
+SweepResult assembleMergedResult(const Scenario &scenario,
+                                 const MergedJournals &merged,
+                                 unsigned jobs);
+
+/**
+ * mergeJournals() + registry lookup + assembleMergedResult(): fuse
+ * shard/worker journals into the result the equivalent single-host
+ * sweep would have produced (byte-identical modulo wall_seconds and
+ * the provenance timestamp).  Throws std::runtime_error when the
+ * journals are inconsistent (see mergeJournals) or name a scenario
+ * this build does not register.
+ */
+SweepResult
+mergeSweepFromJournals(const std::vector<std::string> &paths,
+                       unsigned jobs);
 
 /** Print rows (and summary, when present) as aligned text tables. */
 void printTables(const SweepResult &result);

@@ -47,7 +47,7 @@ struct Scenario
 
     /**
      * Checkpoint granularity: when a sweep journals to a checkpoint
-     * (SweepOptions::checkpointPath), flush the journal to the OS
+     * (RunOptions::checkpoint.directory), flush the journal to the OS
      * every N completed points.  Scenarios whose points cost seconds
      * to minutes (the defense matrices, the Table-4 perf suite, the
      * trace bake-off) set 1 -- every finished point is worth a

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unistd.h>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -95,7 +96,8 @@ class CheckpointTest : public ::testing::Test
     {
         directory_ =
             (std::filesystem::temp_directory_path() /
-             ("pracleak_ckpt_" +
+             ("pracleak_ckpt_" + std::to_string(::getpid()) +
+              "_" +
               std::to_string(::testing::UnitTest::GetInstance()
                                  ->random_seed()) +
               "_" + std::to_string(counter_++)))
@@ -110,14 +112,14 @@ class CheckpointTest : public ::testing::Test
         std::filesystem::remove_all(directory_, ec);
     }
 
-    SweepResult run(const SweepOptions &options)
+    SweepResult run(const RunOptions &options)
     {
         return runScenario(checkpointScenario(), options);
     }
 
-    SweepOptions baseOptions(unsigned jobs) const
+    RunOptions baseOptions(unsigned jobs) const
     {
-        SweepOptions options;
+        RunOptions options;
         options.jobs = jobs;
         options.progress = false;
         return options;
@@ -148,8 +150,8 @@ TEST_F(CheckpointTest, GoldenResumeAtEveryKillPrefix)
 {
     const std::string reference = canonical(run(baseOptions(2)));
 
-    SweepOptions checkpointed = baseOptions(2);
-    checkpointed.checkpointPath = path_;
+    RunOptions checkpointed = baseOptions(2);
+    checkpointed.checkpoint.directory = directory_;
     EXPECT_EQ(canonical(run(checkpointed)), reference);
 
     const std::string full = journalText();
@@ -163,9 +165,9 @@ TEST_F(CheckpointTest, GoldenResumeAtEveryKillPrefix)
     }
     ASSERT_EQ(lines.size(), 9u); // header + 8 points
 
-    SweepOptions resumed = baseOptions(2);
-    resumed.checkpointPath = path_;
-    resumed.resume = true;
+    RunOptions resumed = baseOptions(2);
+    resumed.checkpoint.directory = directory_;
+    resumed.checkpoint.resume = true;
 
     // Kill after every prefix of journaled records, with and
     // without a torn record in flight -- like the trace-format
@@ -197,8 +199,8 @@ TEST_F(CheckpointTest, GoldenResumeAtEveryKillPrefix)
 
 TEST_F(CheckpointTest, SkippedPointsAreJournaledAsCompleted)
 {
-    SweepOptions checkpointed = baseOptions(1);
-    checkpointed.checkpointPath = path_;
+    RunOptions checkpointed = baseOptions(1);
+    checkpointed.checkpoint.directory = directory_;
     run(checkpointed);
 
     const Scenario scenario = checkpointScenario();
@@ -252,15 +254,15 @@ TEST_F(CheckpointTest, DuplicatePointRecordsLastWins)
 
 TEST_F(CheckpointTest, MismatchedJournalsAreRefused)
 {
-    SweepOptions checkpointed = baseOptions(1);
-    checkpointed.checkpointPath = path_;
+    RunOptions checkpointed = baseOptions(1);
+    checkpointed.checkpoint.directory = directory_;
     run(checkpointed);
 
-    SweepOptions resumed = checkpointed;
-    resumed.resume = true;
+    RunOptions resumed = checkpointed;
+    resumed.checkpoint.resume = true;
 
     // Grid change (an override narrows an axis) => hash mismatch.
-    SweepOptions narrowed = resumed;
+    RunOptions narrowed = resumed;
     narrowed.overrides["x"] = {JsonValue(1), JsonValue(2)};
     EXPECT_THROW(run(narrowed), std::runtime_error);
     try {
@@ -270,13 +272,10 @@ TEST_F(CheckpointTest, MismatchedJournalsAreRefused)
                   std::string::npos);
     }
 
-    // Another scenario's sweep must not adopt this journal.
-    Scenario renamed = checkpointScenario();
-    renamed.name = "unit_checkpoint_other";
-    EXPECT_THROW(runScenario(renamed, resumed),
-                 std::runtime_error);
-
-    // Tampered identity fields: git revision, version, points.
+    // Tampered identity fields: scenario name, git revision,
+    // version, points.  (A *renamed* scenario no longer even finds
+    // this journal -- the directory-keyed path embeds the name --
+    // so the mismatch only arises when the file itself lies.)
     const std::string original = journalText();
     const auto tamper = [&](const std::string &from,
                             const std::string &to) {
@@ -286,9 +285,12 @@ TEST_F(CheckpointTest, MismatchedJournalsAreRefused)
         text.replace(at, from.size(), to);
         writeJournal(text);
     };
+    tamper("\"scenario\": \"unit_checkpoint\"",
+           "\"scenario\": \"unit_checkpoint_other\"");
+    EXPECT_THROW(run(resumed), std::runtime_error);
     tamper("\"git_rev\": \"", "\"git_rev\": \"bogus-");
     EXPECT_THROW(run(resumed), std::runtime_error);
-    tamper("\"version\": 1", "\"version\": 999");
+    tamper("\"version\": 2", "\"version\": 999");
     EXPECT_THROW(run(resumed), std::runtime_error);
     tamper("\"points\": 8", "\"points\": 9");
     EXPECT_THROW(run(resumed), std::runtime_error);
@@ -296,8 +298,8 @@ TEST_F(CheckpointTest, MismatchedJournalsAreRefused)
 
 TEST_F(CheckpointTest, InteriorCorruptionIsNotRecoverable)
 {
-    SweepOptions checkpointed = baseOptions(1);
-    checkpointed.checkpointPath = path_;
+    RunOptions checkpointed = baseOptions(1);
+    checkpointed.checkpoint.directory = directory_;
     run(checkpointed);
 
     // A newline-terminated garbage record is corruption, not a torn
@@ -308,8 +310,8 @@ TEST_F(CheckpointTest, InteriorCorruptionIsNotRecoverable)
     text.insert(second, "{\"kind\": \"point\", garbage}\n");
     writeJournal(text);
 
-    SweepOptions resumed = checkpointed;
-    resumed.resume = true;
+    RunOptions resumed = checkpointed;
+    resumed.checkpoint.resume = true;
     EXPECT_THROW(run(resumed), std::runtime_error);
 }
 
@@ -320,8 +322,8 @@ TEST_F(CheckpointTest, ResumeWithDifferentWorkerCount)
     // First leg serial, killed after three records; resume with an
     // 8-thread pool.  The merged output is keyed by grid index, so
     // the worker count of either leg must not matter.
-    SweepOptions serial = baseOptions(1);
-    serial.checkpointPath = path_;
+    RunOptions serial = baseOptions(1);
+    serial.checkpoint.directory = directory_;
     run(serial);
     std::string text = journalText();
     std::size_t cut = 0;
@@ -329,9 +331,9 @@ TEST_F(CheckpointTest, ResumeWithDifferentWorkerCount)
         cut = text.find('\n', cut) + 1;
     writeJournal(text.substr(0, cut));
 
-    SweepOptions wide = baseOptions(8);
-    wide.checkpointPath = path_;
-    wide.resume = true;
+    RunOptions wide = baseOptions(8);
+    wide.checkpoint.directory = directory_;
+    wide.checkpoint.resume = true;
     EXPECT_EQ(canonical(run(wide)), reference);
 }
 
@@ -339,8 +341,8 @@ TEST_F(CheckpointTest, DeterministicUnderSaturatedPool)
 {
     // Two full checkpointed runs on an 8-thread pool: identical
     // output and, record order aside, identical journals.
-    SweepOptions checkpointed = baseOptions(8);
-    checkpointed.checkpointPath = path_;
+    RunOptions checkpointed = baseOptions(8);
+    checkpointed.checkpoint.directory = directory_;
     const std::string first = canonical(run(checkpointed));
     const std::string firstJournal = journalText();
     const std::string second = canonical(run(checkpointed));
@@ -368,8 +370,8 @@ TEST_F(CheckpointTest, DeterministicUnderSaturatedPool)
 TEST_F(CheckpointTest, FreshRunOverwritesStaleJournal)
 {
     writeJournal("not even close to a journal");
-    SweepOptions checkpointed = baseOptions(2);
-    checkpointed.checkpointPath = path_; // no resume: start fresh
+    RunOptions checkpointed = baseOptions(2);
+    checkpointed.checkpoint.directory = directory_; // no resume: fresh
     const std::string result = canonical(run(checkpointed));
     EXPECT_EQ(result, canonical(run(baseOptions(2))));
     EXPECT_EQ(journalText().find("\"kind\": \"header\""), 1u);

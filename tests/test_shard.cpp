@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Distributed-sweep tests: shard partition properties (disjoint,
+ * exhaustive, stable across worker counts), merge byte-identity
+ * against a single-host golden, merge rejections (mismatched grid
+ * hash, overlapping ownership with conflicting rows, missing
+ * points, tampered embedded grid), the work-stealing claim protocol
+ * (O_EXCL exclusivity, stale-claim theft, done markers), and a
+ * saturated-pool work-stealing run with an injected dead worker and
+ * stale claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/provenance.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace pracleak::sim {
+namespace {
+
+/**
+ * A deterministic scenario whose rows *embed their own parameters*
+ * (x, tag first), so a journal record hand-written from runPoint's
+ * output is byte-identical to one the runner would write -- which
+ * lets tests forge a dead worker's journal.  Keeps the awkward
+ * corners: one point emits two rows, one emits none.
+ */
+Scenario
+shardScenario()
+{
+    Scenario scenario;
+    scenario.name = "unit_shard";
+    scenario.title = "shard unit scenario";
+    scenario.grid.axis("x", {1, 2, 3, 4})
+        .axis("tag", {JsonValue("a"), JsonValue("b")});
+    scenario.checkpointEvery = 1;
+    scenario.runPoint = [](const ParamSet &params) {
+        const std::int64_t x = params.getInt("x");
+        const std::string tag = params.getString("tag");
+        if (x == 3 && tag == "b")
+            return std::vector<ResultRow>{};
+        std::vector<ResultRow> rows;
+        const int copies = x == 2 ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+            ResultRow row = JsonValue::object();
+            row.set("x", x);
+            row.set("tag", tag);
+            row.set("ratio", static_cast<double>(x) / 7.0 +
+                                 (tag == "a" ? 0.0 : 1e-13) + c);
+            row.set("big", std::int64_t{1} << (40 + x));
+            rows.push_back(std::move(row));
+        }
+        return rows;
+    };
+    scenario.summarize = [](const std::vector<ResultRow> &rows) {
+        double sum = 0.0;
+        for (const ResultRow &row : rows)
+            sum += row.get("ratio")->asDouble();
+        ResultRow total = JsonValue::object();
+        total.set("mean_ratio",
+                  sum / static_cast<double>(rows.size()));
+        total.set("count", static_cast<std::int64_t>(rows.size()));
+        return std::vector<ResultRow>{std::move(total)};
+    };
+    return scenario;
+}
+
+constexpr std::size_t kPoints = 8;
+
+/** The sweep JSON with its only nondeterministic fields zeroed. */
+std::string
+canonical(const SweepResult &result)
+{
+    JsonValue json = result.toJson();
+    json.set("wall_seconds", 0.0);
+    JsonValue provenance = *json.get("provenance");
+    provenance.set("generated_at", "");
+    json.set("provenance", provenance);
+    return json.dump(2) + "\n" + result.toCsv();
+}
+
+JsonValue
+gridJson()
+{
+    ParamGrid grid = shardScenario().grid;
+    return grid.toJson();
+}
+
+class ShardTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        directory_ =
+            (std::filesystem::temp_directory_path() /
+             ("pracleak_shard_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++)))
+                .string();
+        std::filesystem::create_directories(directory_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(directory_, ec);
+    }
+
+    RunOptions baseOptions(unsigned jobs) const
+    {
+        RunOptions options;
+        options.jobs = jobs;
+        options.progress = false;
+        return options;
+    }
+
+    SweepResult run(const RunOptions &options)
+    {
+        return runScenario(shardScenario(), options);
+    }
+
+    /** A fresh subdirectory for tests that need several dirs. */
+    std::string subdir(const std::string &name) const
+    {
+        const std::string path = directory_ + "/" + name;
+        std::filesystem::create_directories(path);
+        return path;
+    }
+
+    static int counter_;
+    std::string directory_;
+};
+
+int ShardTest::counter_ = 0;
+
+TEST(ShardPartition, DisjointExhaustiveAndStable)
+{
+    for (unsigned count = 1; count <= 5; ++count) {
+        for (std::size_t point = 0; point < 1000; ++point) {
+            unsigned owners = 0;
+            for (unsigned index = 0; index < count; ++index)
+                if (shardOwns(point, ShardSpec{index, count}))
+                    ++owners;
+            // Exactly one shard owns every point: the union is the
+            // whole index space, pairwise disjoint.
+            EXPECT_EQ(owners, 1u)
+                << "point " << point << " of " << count;
+        }
+    }
+    // An inactive spec owns everything.
+    EXPECT_TRUE(shardOwns(123, ShardSpec{}));
+    // Ownership is a pure function of (point, spec): nothing else
+    // (worker count, time, prior calls) can perturb it, so repeated
+    // evaluation is trivially stable.
+    const ShardSpec shard{2, 5};
+    for (std::size_t point = 0; point < 100; ++point)
+        EXPECT_EQ(shardOwns(point, shard), point % 5 == 2);
+    EXPECT_EQ(shard.label(), "2/5");
+}
+
+TEST_F(ShardTest, ShardJournalsIndependentOfJobs)
+{
+    // The same shard swept serially and on a saturated pool must
+    // journal the same record *set* (order varies with scheduling)
+    // and emit identical partial results.
+    const Scenario scenario = shardScenario();
+    const std::string dirSerial = subdir("serial");
+    const std::string dirWide = subdir("wide");
+
+    RunOptions serial = baseOptions(1);
+    serial.checkpoint.directory = dirSerial;
+    serial.shard = ShardSpec{1, 3};
+    RunOptions wide = baseOptions(8);
+    wide.checkpoint.directory = dirWide;
+    wide.shard = ShardSpec{1, 3};
+    const std::string serialResult = canonical(run(serial));
+    const std::string wideResult = canonical(run(wide));
+    // jobs differs between the two results by construction; that is
+    // the only allowed difference.
+    EXPECT_EQ(serialResult.find("\"jobs\": 1") != std::string::npos
+                  ? serialResult
+                  : "",
+              serialResult);
+    const auto neutralize = [](std::string text,
+                               const std::string &from) {
+        for (std::size_t at = text.find(from);
+             at != std::string::npos; at = text.find(from, at))
+            text.replace(at, from.size(), "\"jobs\": 0");
+        return text;
+    };
+    EXPECT_EQ(neutralize(serialResult, "\"jobs\": 1"),
+              neutralize(wideResult, "\"jobs\": 8"));
+
+    const auto sortedPoints = [](const std::string &path) {
+        const JournalFile journal = readJournalFile(path);
+        std::vector<std::size_t> indices;
+        for (const auto &[index, rows] : journal.rowsByPoint) {
+            (void)rows;
+            indices.push_back(index);
+        }
+        return indices;
+    };
+    const auto serialIndices = sortedPoints(
+        shardJournalPath(dirSerial, scenario.name, serial.shard));
+    EXPECT_EQ(serialIndices,
+              sortedPoints(shardJournalPath(dirWide, scenario.name,
+                                            wide.shard)));
+    // And the owned set is exactly {i : i % 3 == 1}.
+    for (const std::size_t i : serialIndices)
+        EXPECT_EQ(i % 3, 1u);
+    EXPECT_EQ(serialIndices.size(), (kPoints + 1) / 3);
+}
+
+TEST_F(ShardTest, MergeMatchesSingleHostGolden)
+{
+    const Scenario scenario = shardScenario();
+    const std::string reference = canonical(run(baseOptions(2)));
+
+    for (unsigned index = 0; index < 3; ++index) {
+        RunOptions options = baseOptions(2);
+        options.checkpoint.directory = directory_;
+        options.shard = ShardSpec{index, 3};
+        run(options);
+    }
+    const std::vector<std::string> paths =
+        journalFilesFor(directory_, scenario.name);
+    ASSERT_EQ(paths.size(), 3u);
+
+    SweepResult merged =
+        assembleMergedResult(scenario, mergeJournals(paths), 2);
+    EXPECT_EQ(canonical(merged), reference);
+
+    // Kill-and-resume one shard (keep only its header plus one
+    // record), re-run it, merge again: still byte-identical.
+    const std::string shard0 =
+        shardJournalPath(directory_, scenario.name, ShardSpec{0, 3});
+    std::string text;
+    {
+        std::ifstream in(shard0, std::ios::binary);
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    const std::size_t cut = text.find('\n', text.find('\n') + 1) + 1;
+    {
+        std::ofstream out(shard0,
+                          std::ios::binary | std::ios::trunc);
+        out << text.substr(0, cut);
+    }
+    RunOptions resumed = baseOptions(2);
+    resumed.checkpoint.directory = directory_;
+    resumed.checkpoint.resume = true;
+    resumed.shard = ShardSpec{0, 3};
+    run(resumed);
+    merged = assembleMergedResult(
+        scenario,
+        mergeJournals(journalFilesFor(directory_, scenario.name)),
+        2);
+    EXPECT_EQ(canonical(merged), reference);
+}
+
+TEST_F(ShardTest, MergeRefusesMismatchedGridHash)
+{
+    RunOptions shard0 = baseOptions(1);
+    shard0.checkpoint.directory = directory_;
+    shard0.shard = ShardSpec{0, 2};
+    shard0.overrides["x"] = {JsonValue(1), JsonValue(2)};
+    run(shard0);
+
+    RunOptions shard1 = baseOptions(1);
+    shard1.checkpoint.directory = directory_;
+    shard1.shard = ShardSpec{1, 2};
+    run(shard1);
+
+    try {
+        mergeJournals(journalFilesFor(directory_, "unit_shard"));
+        FAIL() << "merged journals from different grids";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("grid hash"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST_F(ShardTest, MergeRefusesConflictingOverlap)
+{
+    const JsonValue grid = gridJson();
+    for (const char *worker : {"wa", "wb"}) {
+        JournalWriter journal(
+            workerJournalPath(directory_, "unit_shard", worker),
+            journalHeader("unit_shard", grid, kPoints, {}, worker),
+            /*append=*/false, 0, 1);
+        ResultRow row = JsonValue::object();
+        row.set("marker", worker); // differs per journal
+        journal.writePoint(0, {row});
+    }
+    try {
+        mergeJournals(journalFilesFor(directory_, "unit_shard"));
+        FAIL() << "merged conflicting rows for one point";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("conflict"),
+                  std::string::npos)
+            << error.what();
+    }
+
+    // Byte-identical overlap, by contrast, is legal -- but these
+    // two journals cover only point 0, so coverage must refuse.
+    std::filesystem::remove(
+        workerJournalPath(directory_, "unit_shard", "wb"));
+    try {
+        mergeJournals(journalFilesFor(directory_, "unit_shard"));
+        FAIL() << "merged an incomplete point set";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("no journal"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST_F(ShardTest, MergeRefusesTamperedEmbeddedGrid)
+{
+    RunOptions options = baseOptions(1);
+    options.checkpoint.directory = directory_;
+    run(options);
+    const std::string path = journalPath(directory_, "unit_shard");
+
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    // Flip an axis value inside the embedded grid copy only; the
+    // pinned hash no longer matches, so the merge path must refuse
+    // to trust the grid.
+    const std::size_t at = text.find("\"x\"");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t digit = text.find('4', at);
+    ASSERT_NE(digit, std::string::npos);
+    text[digit] = '9';
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+    EXPECT_THROW(readJournalFile(path), std::runtime_error);
+}
+
+TEST_F(ShardTest, ShardJournalRefusesForeignPoints)
+{
+    // A shard journal claiming a point outside its ownership is
+    // structural corruption: merge disjointness rests on it.
+    const JsonValue grid = gridJson();
+    const std::string path =
+        shardJournalPath(directory_, "unit_shard", ShardSpec{0, 2});
+    {
+        JournalWriter journal(
+            path,
+            journalHeader("unit_shard", grid, kPoints,
+                          ShardSpec{0, 2}),
+            false, 0, 1);
+        ResultRow row = JsonValue::object();
+        row.set("marker", "foreign");
+        journal.writePoint(1, {row}); // 1 % 2 != 0: not ours
+    }
+    EXPECT_THROW(readJournalFile(path), std::runtime_error);
+    EXPECT_THROW(loadJournal(path, "unit_shard", grid, kPoints,
+                             ShardSpec{0, 2}),
+                 std::runtime_error);
+}
+
+TEST_F(ShardTest, WorkerJournalPinsWorkerIdentity)
+{
+    const JsonValue grid = gridJson();
+    const std::string path =
+        workerJournalPath(directory_, "unit_shard", "w1");
+    {
+        JournalWriter journal(
+            path, journalHeader("unit_shard", grid, kPoints, {}, "w1"),
+            false, 0, 1);
+    }
+    // The right worker resumes; a different worker is refused.
+    EXPECT_TRUE(loadJournal(path, "unit_shard", grid, kPoints, {},
+                            "w1")
+                    .hasHeader);
+    EXPECT_THROW(
+        loadJournal(path, "unit_shard", grid, kPoints, {}, "w2"),
+        std::runtime_error);
+    // Path-unsafe worker ids never reach the filesystem.
+    EXPECT_THROW(workerJournalPath(directory_, "unit_shard",
+                                   "../escape"),
+                 std::invalid_argument);
+    EXPECT_THROW(workerJournalPath(directory_, "unit_shard", ""),
+                 std::invalid_argument);
+}
+
+TEST_F(ShardTest, PointClaimsProtocol)
+{
+    PointClaims mine(directory_, "unit_shard", "w1", 60.0);
+    PointClaims theirs(directory_, "unit_shard", "w2", 60.0);
+
+    // O_EXCL: exactly one claimant wins; release frees the point.
+    EXPECT_TRUE(mine.tryClaim(3));
+    EXPECT_FALSE(theirs.tryClaim(3));
+    mine.release(3);
+    EXPECT_TRUE(theirs.tryClaim(3));
+
+    // A done point is never claimed again.
+    theirs.markDone(3);
+    theirs.release(3);
+    EXPECT_TRUE(mine.isDone(3));
+    EXPECT_FALSE(mine.tryClaim(3));
+
+    // A stale claim (mtime beyond the TTL) is stolen...
+    ASSERT_TRUE(mine.tryClaim(4));
+    const std::string claim =
+        mine.claimsDirectory() + "/point-4.claim";
+    std::filesystem::last_write_time(
+        claim, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::hours(2));
+    EXPECT_TRUE(theirs.tryClaim(4));
+    // ...and the thief holds a *fresh* claim others respect.
+    EXPECT_FALSE(mine.tryClaim(4));
+}
+
+TEST_F(ShardTest, StealCompletesWithDeadWorkerAndStaleClaims)
+{
+    const Scenario scenario = shardScenario();
+    const JsonValue grid = gridJson();
+    const std::string reference = canonical(run(baseOptions(8)));
+
+    // Forge a dead worker: points 0 and 5 journaled and flushed,
+    // done markers published, then the host vanished -- leaving its
+    // journal behind but never finishing the sweep.
+    {
+        ParamGrid liveGrid = scenario.grid;
+        JournalWriter dead(
+            workerJournalPath(directory_, scenario.name, "w-dead"),
+            journalHeader(scenario.name, grid, kPoints, {},
+                          "w-dead"),
+            false, 0, 1);
+        PointClaims claims(directory_, scenario.name, "w-dead",
+                           60.0);
+        for (const std::size_t i : {std::size_t{0}, std::size_t{5}}) {
+            dead.writePoint(i,
+                            scenario.runPoint(liveGrid.point(i)));
+            claims.markDone(i);
+        }
+    }
+    // Inject a stale claim on point 3, as if a third worker died
+    // mid-point two hours ago: the live worker must steal and run
+    // it rather than wait forever.
+    const std::string claimsDir =
+        directory_ + "/" + scenario.name + ".claims";
+    const std::string staleClaim = claimsDir + "/point-3.claim";
+    {
+        std::ofstream out(staleClaim, std::ios::binary);
+        out << "w-vanished\n";
+    }
+    std::filesystem::last_write_time(
+        staleClaim, std::filesystem::file_time_type::clock::now() -
+                        std::chrono::hours(2));
+
+    RunOptions live = baseOptions(8); // saturated pool
+    live.checkpoint.directory = directory_;
+    live.steal.enabled = true;
+    live.steal.workerId = "w-live";
+    live.steal.claimTtlSeconds = 60.0; // fresh claims stay owned
+    live.steal.pollSeconds = 0.005;
+    const SweepResult result = run(live);
+
+    // The returned result is the *complete* merged sweep -- the
+    // dead worker's points fused with the live ones -- and matches
+    // the single-host golden byte for byte.
+    EXPECT_EQ(canonical(result), reference);
+    // The stale claim was stolen (and released after completion).
+    EXPECT_FALSE(std::filesystem::exists(staleClaim));
+    // An explicit merge over the directory agrees.
+    const SweepResult merged = assembleMergedResult(
+        scenario,
+        mergeJournals(journalFilesFor(directory_, scenario.name)),
+        8);
+    EXPECT_EQ(canonical(merged), reference);
+}
+
+TEST_F(ShardTest, ConcurrentStealWorkersRace)
+{
+    const Scenario scenario = shardScenario();
+    const std::string reference = canonical(run(baseOptions(2)));
+
+    // Two workers race over one directory, each on its own pool.
+    // Claims arbitrate ownership; both exit holding the complete
+    // byte-identical result regardless of who ran what.
+    SweepResult resultA;
+    SweepResult resultB;
+    const auto worker = [&](const char *id, SweepResult &out) {
+        RunOptions options = baseOptions(2);
+        options.checkpoint.directory = directory_;
+        options.steal.enabled = true;
+        options.steal.workerId = id;
+        options.steal.claimTtlSeconds = 60.0;
+        options.steal.pollSeconds = 0.005;
+        out = runScenario(shardScenario(), options);
+    };
+    std::thread threadA(worker, "w-a", std::ref(resultA));
+    std::thread threadB(worker, "w-b", std::ref(resultB));
+    threadA.join();
+    threadB.join();
+
+    EXPECT_EQ(canonical(resultA), reference);
+    EXPECT_EQ(canonical(resultB), reference);
+}
+
+TEST_F(ShardTest, RunOptionValidation)
+{
+    // Inconsistent mode combinations die before any work runs.
+    RunOptions both = baseOptions(1);
+    both.checkpoint.directory = directory_;
+    both.shard = ShardSpec{0, 2};
+    both.steal.enabled = true;
+    both.steal.workerId = "w";
+    EXPECT_THROW(run(both), std::invalid_argument);
+
+    RunOptions noDir = baseOptions(1);
+    noDir.shard = ShardSpec{0, 2};
+    EXPECT_THROW(run(noDir), std::invalid_argument);
+
+    RunOptions badIndex = baseOptions(1);
+    badIndex.checkpoint.directory = directory_;
+    badIndex.shard = ShardSpec{2, 2};
+    EXPECT_THROW(run(badIndex), std::invalid_argument);
+
+    RunOptions noWorker = baseOptions(1);
+    noWorker.checkpoint.directory = directory_;
+    noWorker.steal.enabled = true;
+    EXPECT_THROW(run(noWorker), std::invalid_argument);
+
+    RunOptions stealResume = baseOptions(1);
+    stealResume.checkpoint.directory = directory_;
+    stealResume.steal.enabled = true;
+    stealResume.steal.workerId = "w";
+    stealResume.checkpoint.resume = true;
+    EXPECT_THROW(run(stealResume), std::invalid_argument);
+}
+
+} // namespace
+} // namespace pracleak::sim
