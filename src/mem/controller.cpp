@@ -438,23 +438,109 @@ MemoryController::run(Cycle cycles)
 }
 
 Cycle
-MemoryController::nextWorkAt() const
+MemoryController::nextMaintenanceIssueAt() const
 {
-    if (maint_.active || prac_->alertAsserted())
-        return now_;
+    // First cycle tickMaintenance() issues its next command.  Exact
+    // because the drain state machine is deterministic and the DRAM
+    // timing state is frozen between commands: a per-bank PRE's
+    // legality depends only on its own bank's last ACT/CAS, and the
+    // terminal RFM/REF becomes legal only once every required bank is
+    // precharged -- which is exactly when the drain stops issuing
+    // PREs.  tickMaintenance() takes the first *ready* PRE in scan
+    // order, so the earliest legality over all open banks is the
+    // cycle the next PRE actually fires.
+    const DramOrg &org = spec_.org;
+
+    if (maint_.isRfm && maint_.perBank) {
+        const std::uint32_t rank =
+            maint_.flatBank / org.banksPerRank();
+        const std::uint32_t in_rank =
+            maint_.flatBank % org.banksPerRank();
+        const std::uint32_t bg = in_rank / org.banksPerGroup;
+        const std::uint32_t bank = in_rank % org.banksPerGroup;
+        if (dram_.isOpen(rank, bg, bank))
+            return dram_.earliestIssue(
+                Command{CmdType::PRE, rank, bg, bank, 0, 0});
+        return dram_.earliestIssue(
+            Command{CmdType::RFMpb, rank, bg, bank, 0, 0});
+    }
+
+    if (maint_.isRfm) {
+        Cycle next = kNeverCycle;
+        bool any_open = false;
+        for (std::uint32_t r = 0; r < org.ranks; ++r) {
+            for (std::uint32_t bg = 0; bg < org.bankGroups; ++bg) {
+                for (std::uint32_t b = 0; b < org.banksPerGroup;
+                     ++b) {
+                    if (!dram_.isOpen(r, bg, b))
+                        continue;
+                    any_open = true;
+                    next = std::min(
+                        next, dram_.earliestIssue(Command{
+                                  CmdType::PRE, r, bg, b, 0, 0}));
+                }
+            }
+        }
+        if (any_open)
+            return next;
+        return dram_.earliestIssue(
+            Command{CmdType::RFMab, 0, 0, 0, 0, 0});
+    }
 
     Cycle next = kNeverCycle;
+    bool any_open = false;
+    for (std::uint32_t bg = 0; bg < org.bankGroups; ++bg) {
+        for (std::uint32_t b = 0; b < org.banksPerGroup; ++b) {
+            if (!dram_.isOpen(maint_.rank, bg, b))
+                continue;
+            any_open = true;
+            next = std::min(next,
+                            dram_.earliestIssue(Command{
+                                CmdType::PRE, maint_.rank, bg, b, 0,
+                                0}));
+        }
+    }
+    if (any_open)
+        return next;
+    return dram_.earliestIssue(
+        Command{CmdType::REFab, maint_.rank, 0, 0, 0, 0});
+}
 
+Cycle
+MemoryController::nextDemandIssueAt() const
+{
     // Demand: the earliest cycle at which any command tickDemand()
     // would be willing to issue -- CAS on a row hit, PRE on a row
     // conflict, ACT on a closed bank -- becomes legal under the DRAM
     // timing state.  The deferral predicates are the same functions
     // tickDemand() calls: they depend only on queue content,
-    // open-row state, and hit streaks, all of which are frozen while
-    // no command issues, so a candidate declined today stays
-    // declined until some other candidate fires first.
+    // open-row state, hit streaks, and the drain/Alert blocks, all
+    // of which are frozen while no command issues, so a candidate
+    // declined today stays declined until some other candidate fires
+    // first.
+    if (queue_.empty())
+        return kNeverCycle;
+
+    const bool refresh_drain = maint_.active && !maint_.isRfm;
+    const bool rfmpb_drain =
+        maint_.active && maint_.isRfm && maint_.perBank;
+    const bool acts_blocked =
+        prac_->alertAsserted() &&
+        prac_->actsSinceAlert() >= spec_.prac.aboAct;
+
+    auto blocked_by_drain = [&](const DramAddress &da) {
+        if (refresh_drain && da.rank == maint_.rank)
+            return true;
+        if (rfmpb_drain && mapper_.flatBank(da) == maint_.flatBank)
+            return true;
+        return false;
+    };
+
+    Cycle next = kNeverCycle;
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         const DramAddress &da = it->req.daddr;
+        if (blocked_by_drain(da))
+            continue;
         const bool open = dram_.isOpen(da.rank, da.bankGroup, da.bank);
         Command cmd{CmdType::ACT, da.rank, da.bankGroup, da.bank,
                     da.row, 0};
@@ -473,19 +559,56 @@ MemoryController::nextWorkAt() const
                 continue;
             cmd = Command{CmdType::PRE, da.rank, da.bankGroup,
                           da.bank, 0, 0};
+        } else if (acts_blocked) {
+            continue; // the ABOACT budget blocks new activations
         }
         next = std::min(next, dram_.earliestIssue(cmd));
         if (next <= now_)
             return now_;
     }
+    return next;
+}
 
+Cycle
+MemoryController::nextWorkAt() const
+{
+    Cycle next = kNeverCycle;
+
+    // Deliveries and the tREFW counter reset are absolute deadlines,
+    // live in every controller state.
     for (const InFlight &flight : inFlight_)
         next = std::min(next, flight.doneAt);
+    next = std::min(next, prac_->nextCounterResetAt());
+
+    if (maint_.active) {
+        // An active drain owns the command engine: the next effect
+        // is the drain's own next legal command, plus demand on the
+        // banks a single-rank refresh / single-bank RFMpb drain
+        // leaves schedulable.  Defense deadlines, refresh due times,
+        // and Alert-service triggers are NOT polled while a drain is
+        // active -- the drain's terminal RFM/REF is itself a tick,
+        // after which the bound is recomputed with them back in.
+        next = std::min(next, nextMaintenanceIssueAt());
+        if (!maint_.isRfm || maint_.perBank)
+            next = std::min(next, nextDemandIssueAt());
+        return std::max(next, now_);
+    }
+
+    if (prac_->alertAsserted()) {
+        // Alert service starts the moment the ACT budget is spent;
+        // until then the tABOACT window expiry is a hard trigger and
+        // demand (which burns the budget) keeps running.
+        if (prac_->actsSinceAlert() >= spec_.prac.aboAct)
+            return now_;
+        next = std::min(next, prac_->alertAssertedAt() +
+                                  spec_.timing.tABOACT);
+    }
+
+    next = std::min(next, nextDemandIssueAt());
     if (config_.refreshEnabled)
         for (const Cycle due : nextRefreshAt_)
             next = std::min(next, due);
     next = std::min(next, mitigation_->nextMaintenanceAt(now_));
-    next = std::min(next, prac_->nextCounterResetAt());
     return std::max(next, now_);
 }
 

@@ -153,18 +153,17 @@ class MemoryController
     void run(Cycle cycles);
 
     /**
-     * Earliest cycle >= now() at which tick() could have any effect.
-     * Returns now() whenever the controller can act immediately
-     * (active maintenance, an asserted Alert, a queued request whose
-     * next command is already legal); otherwise the nearest scheduled
-     * event: the first cycle a queued request's CAS/PRE/ACT becomes
-     * legal under the DRAM timing state, an in-flight completion, a
-     * refresh deadline, the defense's next maintenance deadline, or
-     * the tREFW counter reset.  Cycles strictly before the returned
-     * value are provably dead and may be skipped -- this is what
-     * makes trace replay (src/trace/) cheap: with no cores to model,
-     * the replay loop jumps between memory events even while the
-     * queue is full.
+     * Earliest cycle >= now() at which tick() could have any effect:
+     * the first cycle a queued request's CAS/PRE/ACT becomes legal
+     * under the DRAM timing state, an in-flight completion, a refresh
+     * deadline, the defense's next maintenance deadline, the tREFW
+     * counter reset, or -- during an active RFM/REF drain -- the
+     * first cycle the drain's next PRE/RFM/REF command itself becomes
+     * legal (plus demand on the banks a per-rank/per-bank drain
+     * leaves schedulable).  Cycles strictly before the returned value
+     * are provably dead and may be skipped; exactness (never later
+     * than the first effective tick) is the contract the event-driven
+     * scheduler rests on -- see src/mem/DESIGN.md.
      */
     Cycle nextWorkAt() const;
 
@@ -245,6 +244,16 @@ class MemoryController
                           const DramAddress &da) const;
     bool preDeferredForPendingHit(const DramAddress &da,
                                   std::uint32_t open_row) const;
+    /**
+     * Exact event bounds backing nextWorkAt().  Each returns the
+     * first cycle the corresponding tick path could issue a command,
+     * computed from the same predicates the tick path evaluates, so
+     * the scheduler and its bound cannot drift (the fast-forward
+     * exactness invariant, src/mem/DESIGN.md).
+     */
+    Cycle nextMaintenanceIssueAt() const;
+    Cycle nextDemandIssueAt() const;
+
     bool issueIfReady(const Command &cmd);
     void finishRequest(Entry &entry, Cycle done_at);
     void countRfm(RfmReason reason, bool per_bank);
