@@ -14,6 +14,7 @@ ReplayCore::ReplayCore(
 void
 ReplayCore::tick(Cycle now)
 {
+    blocked_ = false;
     while (next_ < records_->size()) {
         const trace::TraceRecord &record = (*records_)[next_];
         if (record.cycle > now) {
@@ -27,6 +28,7 @@ ReplayCore::tick(Cycle now)
         if (!mem_->enqueue(std::move(request))) {
             // Queue full (cross-defense back-pressure): hold the
             // stream in order and retry next cycle.
+            blocked_ = true;
             nextEventAt_ = now + 1;
             return;
         }

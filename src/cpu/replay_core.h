@@ -49,6 +49,16 @@ class ReplayCore
      */
     Cycle nextEventAt() const { return nextEventAt_; }
 
+    /**
+     * Whether the last tick() ended on a full queue.  A blocked tick
+     * is side-effect-free, and queue slots only free up when the
+     * controller issues a CAS -- i.e. on one of its effective ticks
+     * -- so a blocked driver may skip straight to the controller's
+     * nextWorkAt() instead of retrying every cycle (the replay event
+     * loop does exactly that).
+     */
+    bool blocked() const { return blocked_; }
+
     bool done() const { return next_ >= records_->size(); }
     std::uint64_t replayed() const { return next_; }
 
@@ -57,6 +67,7 @@ class ReplayCore
     const std::vector<trace::TraceRecord> *records_;
     std::size_t next_ = 0;
     Cycle nextEventAt_ = 0;
+    bool blocked_ = false;
 };
 
 } // namespace pracleak

@@ -64,6 +64,7 @@ MemoryController::enqueue(Request request)
     if (tap_)
         tap_->onEnqueue(request, now_);
     queue_.push_back(Entry{std::move(request), nextSeq_++});
+    nextWorkCacheValid_ = false;
     if (stats_)
         ++stats_->counter(request.type == ReqType::Read ? "mem.reads"
                                                         : "mem.writes");
@@ -146,6 +147,23 @@ MemoryController::issueIfReady(const Command &cmd)
     return true;
 }
 
+bool
+MemoryController::issueOrTrack(const Command &cmd, Cycle &hint)
+{
+    // issueIfReady plus bound tracking: a declined command's
+    // earliest-legal cycle feeds the next-work hint, so a tick that
+    // issues nothing leaves a ready-made nextWorkAt() cache behind
+    // (structurally illegal commands report kNeverCycle and drop out
+    // of the min).
+    const Cycle at = dram_.earliestIssue(cmd);
+    if (at > now_) {
+        hint = std::min(hint, at);
+        return false;
+    }
+    dram_.issue(cmd, now_);
+    return true;
+}
+
 void
 MemoryController::countRfm(RfmReason reason, bool per_bank)
 {
@@ -192,10 +210,10 @@ MemoryController::tickMaintenance()
 
         if (dram_.isOpen(rank, bg, bank)) {
             Command pre{CmdType::PRE, rank, bg, bank, 0, 0};
-            return issueIfReady(pre);
+            return issueOrTrack(pre, maintHint_);
         }
         Command rfm{CmdType::RFMpb, rank, bg, bank, 0, 0};
-        if (!issueIfReady(rfm))
+        if (!issueOrTrack(rfm, maintHint_))
             return false;
         countRfm(maint_.reason, /*per_bank=*/true);
         maint_.active = false;
@@ -210,7 +228,7 @@ MemoryController::tickMaintenance()
                     if (!dram_.isOpen(r, bg, b))
                         continue;
                     Command pre{CmdType::PRE, r, bg, b, 0, 0};
-                    if (issueIfReady(pre))
+                    if (issueOrTrack(pre, maintHint_))
                         return true;
                 }
             }
@@ -219,7 +237,7 @@ MemoryController::tickMaintenance()
             return false; // a precharge is pending but not yet legal
 
         Command rfm{CmdType::RFMab, 0, 0, 0, 0, 0};
-        if (!issueIfReady(rfm))
+        if (!issueOrTrack(rfm, maintHint_))
             return false;
 
         countRfm(maint_.reason, /*per_bank=*/false);
@@ -235,7 +253,7 @@ MemoryController::tickMaintenance()
             if (!dram_.isOpen(maint_.rank, bg, b))
                 continue;
             Command pre{CmdType::PRE, maint_.rank, bg, b, 0, 0};
-            if (issueIfReady(pre))
+            if (issueOrTrack(pre, maintHint_))
                 return true;
         }
     }
@@ -243,7 +261,7 @@ MemoryController::tickMaintenance()
         return false;
 
     Command ref{CmdType::REFab, maint_.rank, 0, 0, 0, 0};
-    if (!issueIfReady(ref))
+    if (!issueOrTrack(ref, maintHint_))
         return false;
 
     nextRefreshAt_[maint_.rank] += spec_.timing.tREFI;
@@ -322,7 +340,7 @@ MemoryController::tickDemand()
         const bool is_read = it->req.type == ReqType::Read;
         Command cas{is_read ? CmdType::RD : CmdType::WR, da.rank,
                     da.bankGroup, da.bank, da.row, da.col};
-        if (!issueIfReady(cas))
+        if (!issueOrTrack(cas, demandHint_))
             continue;
 
         ++hitStreak_[flat];
@@ -358,7 +376,7 @@ MemoryController::tickDemand()
                 continue;
             Command pre{CmdType::PRE, da.rank, da.bankGroup, da.bank, 0,
                         0};
-            if (issueIfReady(pre)) {
+            if (issueOrTrack(pre, demandHint_)) {
                 hitStreak_[flat] = 0;
                 if (stats_)
                     ++stats_->counter("mem.row_conflicts");
@@ -371,7 +389,7 @@ MemoryController::tickDemand()
                 continue; // honour the ABOACT budget
             Command act{CmdType::ACT, da.rank, da.bankGroup, da.bank,
                         da.row, 0};
-            if (issueIfReady(act)) {
+            if (issueOrTrack(act, demandHint_)) {
                 hitStreak_[flat] = 0;
                 mitigation_->onActivate(flat, da.row, now_);
                 if (stats_)
@@ -390,6 +408,8 @@ void
 MemoryController::tick()
 {
     prac_->maybePeriodicReset(now_);
+    demandHint_ = kNeverCycle;
+    maintHint_ = kNeverCycle;
 
     // Deliver finished requests.
     for (std::size_t i = 0; i < inFlight_.size();) {
@@ -422,11 +442,24 @@ MemoryController::tick()
     // Demand may proceed when no maintenance holds the channel, or
     // when only a single-rank refresh / single-bank RFMpb drain is in
     // progress (that's the point of the per-bank extension).
+    bool demand_issued = false;
     if (!issued &&
         (!maint_.active || !maint_.isRfm || maint_.perBank))
-        tickDemand();
+        demand_issued = tickDemand();
 
     ++now_;
+    if (issued || demand_issued) {
+        nextWorkCacheValid_ = false;
+    } else {
+        // A tick that issued nothing already scanned every candidate
+        // the bound functions would scan: the declined commands'
+        // earliest-issue hints rebuild the cache with only O(inflight
+        // + ranks) glue instead of a second queue sweep.  The hints
+        // are absolute legality instants, so they remain exact at the
+        // incremented clock.
+        nextWorkCache_ = composeNextWorkAt(demandHint_, maintHint_);
+        nextWorkCacheValid_ = true;
+    }
 }
 
 void
@@ -572,12 +605,39 @@ MemoryController::nextDemandIssueAt() const
 Cycle
 MemoryController::nextWorkAt() const
 {
+    if (!nextWorkCacheValid_) {
+        nextWorkCache_ = computeNextWorkAt();
+        nextWorkCacheValid_ = true;
+    }
+    // A valid cached bound can sit behind the clock only when the
+    // caller skipped to it and is about to tick; clamping keeps the
+    // contract (>= now()) without recomputing.
+    return std::max(nextWorkCache_, now_);
+}
+
+Cycle
+MemoryController::computeNextWorkAt() const
+{
+    return composeNextWorkAt(nextDemandIssueAt(),
+                             maint_.active ? nextMaintenanceIssueAt()
+                                           : kNeverCycle);
+}
+
+Cycle
+MemoryController::composeNextWorkAt(Cycle demand_at,
+                                    Cycle maint_at) const
+{
     Cycle next = kNeverCycle;
 
     // Deliveries and the tREFW counter reset are absolute deadlines,
-    // live in every controller state.
+    // live in every controller state.  A delivery is an effect only
+    // when someone can observe it -- a stats sink (latency histogram)
+    // or a completion callback; the queue slot was already freed when
+    // the CAS issued, so an unobserved flight (trace replay) needs no
+    // wake-up and is collected lazily by a later tick.
     for (const InFlight &flight : inFlight_)
-        next = std::min(next, flight.doneAt);
+        if (stats_ || flight.entry.req.onComplete)
+            next = std::min(next, flight.doneAt);
     next = std::min(next, prac_->nextCounterResetAt());
 
     if (maint_.active) {
@@ -588,9 +648,9 @@ MemoryController::nextWorkAt() const
         // and Alert-service triggers are NOT polled while a drain is
         // active -- the drain's terminal RFM/REF is itself a tick,
         // after which the bound is recomputed with them back in.
-        next = std::min(next, nextMaintenanceIssueAt());
+        next = std::min(next, maint_at);
         if (!maint_.isRfm || maint_.perBank)
-            next = std::min(next, nextDemandIssueAt());
+            next = std::min(next, demand_at);
         return std::max(next, now_);
     }
 
@@ -604,7 +664,7 @@ MemoryController::nextWorkAt() const
                                   spec_.timing.tABOACT);
     }
 
-    next = std::min(next, nextDemandIssueAt());
+    next = std::min(next, demand_at);
     if (config_.refreshEnabled)
         for (const Cycle due : nextRefreshAt_)
             next = std::min(next, due);
@@ -617,6 +677,29 @@ MemoryController::skipTo(Cycle target)
 {
     if (target > now_)
         now_ = target;
+}
+
+void
+MemoryController::advanceTo(Cycle target)
+{
+    // Skip only on a cached bound.  When the cache is invalid (the
+    // last tick issued, or a request arrived), tick immediately
+    // rather than paying a full bound recomputation: ticking is
+    // always behaviour-identical (lockstep is nothing but ticks), a
+    // busy channel most likely has work next cycle anyway, and the
+    // first tick that issues nothing rebuilds the cache as a free
+    // by-product of its own scans -- so the full computeNextWorkAt()
+    // sweep never runs on this path at all.
+    while (now_ < target) {
+        if (nextWorkCacheValid_) {
+            const Cycle at = std::max(nextWorkCache_, now_);
+            if (at > now_) {
+                now_ = std::min(at, target);
+                continue;
+            }
+        }
+        tick();
+    }
 }
 
 } // namespace pracleak

@@ -149,8 +149,20 @@ class MemoryController
     /** Advance one cycle: issue at most one DRAM command. */
     void tick();
 
-    /** Advance @p cycles cycles. */
+    /** Advance @p cycles cycles, ticking every one (pure lockstep). */
     void run(Cycle cycles);
+
+    /**
+     * Event-driven stepping: advance the clock to @p target, ticking
+     * only on cycles where tick() could have an effect and jumping
+     * over the provably-dead cycles in between (nextWorkAt()).
+     * Behaviour and statistics are bit-identical to calling tick()
+     * target-now() times; the bound is cached between calls and
+     * invalidated by the only two state-mutating entry points --
+     * tick() and a successful enqueue() -- so a quiescent channel
+     * advances in O(1) per call instead of O(queue) per cycle.
+     */
+    void advanceTo(Cycle target);
 
     /**
      * Earliest cycle >= now() at which tick() could have any effect:
@@ -253,8 +265,11 @@ class MemoryController
      */
     Cycle nextMaintenanceIssueAt() const;
     Cycle nextDemandIssueAt() const;
+    Cycle computeNextWorkAt() const;
+    Cycle composeNextWorkAt(Cycle demand_at, Cycle maint_at) const;
 
     bool issueIfReady(const Command &cmd);
+    bool issueOrTrack(const Command &cmd, Cycle &hint);
     void finishRequest(Entry &entry, Cycle done_at);
     void countRfm(RfmReason reason, bool per_bank);
 
@@ -282,6 +297,24 @@ class MemoryController
 
     std::vector<Cycle> nextRefreshAt_;
     Maintenance maint_;
+
+    /**
+     * Memoized nextWorkAt().  Every bound is an absolute cycle valid
+     * while the controller state is frozen, so the cache survives
+     * skipTo() and is dropped only by tick() and enqueue().
+     */
+    mutable Cycle nextWorkCache_ = 0;
+    mutable bool nextWorkCacheValid_ = false;
+
+    /**
+     * Earliest-issue bounds tracked as a free by-product of the tick
+     * scans: when a tick issues nothing, the scans it ran anyway have
+     * already visited every candidate, so the next-work cache can be
+     * rebuilt from these hints without a second sweep.
+     */
+    Cycle demandHint_ = kNeverCycle;
+    Cycle maintHint_ = kNeverCycle;
+
     std::vector<std::uint32_t> hitStreak_;
     std::array<std::uint64_t, kRfmReasonCount> rfmCounts_{};
 };

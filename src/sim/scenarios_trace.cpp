@@ -208,12 +208,154 @@ traceReplayDefenseSweep()
     return scenario;
 }
 
+/**
+ * eventqueue_benchmark: event-driven vs lockstep replay scheduling.
+ *
+ * Replays one recorded multi-channel trace under every bake-off
+ * defense twice -- once with the lockstep per-cycle loop (fastForward
+ * off) and once with the per-channel event loop (fastForward on) --
+ * and asserts the two paths produce byte-identical per-channel stats.
+ * The emitted speedup is the number CI guards (scripts/perf_smoke.sh)
+ * and results/eventqueue_bench.json records.
+ */
+Scenario
+eventqueueBenchmark()
+{
+    Scenario scenario;
+    scenario.name = "eventqueue_benchmark";
+    scenario.checkpointEvery = 1;
+    scenario.tags = {"trace", "perf"};
+    scenario.title =
+        "Event-driven per-channel replay scheduling vs the lockstep "
+        "per-cycle tick: wall-clock speedup on a defense sweep "
+        "(stats byte-identical)";
+    scenario.notes =
+        "run with --jobs 1 for clean wall-clock numbers; 'identical' "
+        "must always be true -- the event scheduler may never change "
+        "a statistic -- and the same-defense event replay must stay "
+        "bit-identical to the recording; the win grows with channel "
+        "count (each channel advances independently while lockstep "
+        "ticks all of them every cycle)";
+    scenario.grid
+        .axis("entry", {"h_rand_heavy", "m_blend", "l_compute"})
+        .constant("channels", 8)
+        .constant("spec", "ddr5-8000b")
+        .constant("nbo", 1024)
+        .constant("warmup", 20'000)
+        .constant("measure", 120'000);
+
+    scenario.runPoint = [](const ParamSet &params) {
+        const SuiteEntry &entry =
+            findSuiteEntry(params.getString("entry"));
+
+        DesignConfig design;
+        design.label = "none";
+        design.mitigation = "none";
+        design.spec = params.getString("spec");
+        design.nbo =
+            static_cast<std::uint32_t>(params.getInt("nbo"));
+        design.channels =
+            static_cast<std::uint32_t>(params.getInt("channels"));
+        RunBudget budget;
+        budget.warmup =
+            static_cast<std::uint64_t>(params.getInt("warmup"));
+        budget.measure =
+            static_cast<std::uint64_t>(params.getInt("measure"));
+
+        const RecordedRun recorded =
+            recordSuiteRun(entry, design, budget);
+
+        std::vector<ResultRow> rows;
+        double lockstep_total = 0.0, event_total = 0.0;
+        for (const std::string &defense : sweepDefenses()) {
+            trace::ReplayOptions options;
+            options.mitigation = defense;
+
+            options.fastForward = false;
+            const auto lockstep_start =
+                std::chrono::steady_clock::now();
+            const trace::ReplayResult lockstep =
+                trace::replayTrace(recorded.trace, options);
+            const double lockstep_seconds =
+                secondsSince(lockstep_start);
+
+            options.fastForward = true;
+            const auto event_start =
+                std::chrono::steady_clock::now();
+            const trace::ReplayResult event =
+                trace::replayTrace(recorded.trace, options);
+            const double event_seconds = secondsSince(event_start);
+
+            lockstep_total += lockstep_seconds;
+            event_total += event_seconds;
+
+            // The equivalence contract: every per-channel statistic,
+            // the horizon, and the drain status must match exactly.
+            bool identical =
+                lockstep.endCycle == event.endCycle &&
+                lockstep.replayedRequests == event.replayedRequests &&
+                lockstep.fullyDrained == event.fullyDrained &&
+                lockstep.channels.size() == event.channels.size();
+            if (identical)
+                for (std::size_t c = 0; c < event.channels.size();
+                     ++c)
+                    identical = identical &&
+                                lockstep.channels[c] ==
+                                    event.channels[c];
+
+            ResultRow row = JsonValue::object();
+            row.set("mitigation", defense);
+            row.set("lockstep_seconds", lockstep_seconds);
+            row.set("event_seconds", event_seconds);
+            row.set("speedup", event_seconds > 0.0
+                                   ? lockstep_seconds / event_seconds
+                                   : 0.0);
+            row.set("identical", identical);
+            if (defense == "none")
+                row.set("bit_identical",
+                        event.matchesRecorded(recorded.trace));
+            rows.push_back(std::move(row));
+        }
+        for (ResultRow &row : rows) {
+            row.set("entry_lockstep_seconds", lockstep_total);
+            row.set("entry_event_seconds", event_total);
+            row.set("entry_speedup",
+                    event_total > 0.0 ? lockstep_total / event_total
+                                      : 0.0);
+        }
+        return rows;
+    };
+
+    scenario.summarize = [](const std::vector<ResultRow> &rows) {
+        double lockstep = 0.0, event = 0.0;
+        std::int64_t broken = 0;
+        bool bit_identical = true;
+        for (const ResultRow &row : rows) {
+            lockstep += row.get("lockstep_seconds")->asDouble();
+            event += row.get("event_seconds")->asDouble();
+            broken += row.get("identical")->asBool() ? 0 : 1;
+            if (const JsonValue *bit = row.get("bit_identical"))
+                bit_identical = bit_identical && bit->asBool();
+        }
+        ResultRow summary = JsonValue::object();
+        summary.set("sweep_lockstep_seconds", lockstep);
+        summary.set("sweep_event_seconds", event);
+        summary.set("speedup",
+                    event > 0.0 ? lockstep / event : 0.0);
+        summary.set("non_identical_points", broken);
+        summary.set("all_bit_identical", bit_identical);
+        return std::vector<ResultRow>{std::move(summary)};
+    };
+    return scenario;
+}
+
 } // namespace
 
 void
 registerTraceScenarios(ScenarioRegistry &registry)
 {
     registry.add(traceReplayDefenseSweep());
+    registry.add(eventqueueBenchmark());
 }
 
 } // namespace pracleak::sim

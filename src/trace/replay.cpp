@@ -113,40 +113,58 @@ replayTrace(const TraceData &trace, const ReplayOptions &options)
         cores.emplace_back(*mems[c], trace.channels[c].records);
 
     const Cycle end = header.endCycle;
-    while (mems[0]->now() < end) {
-        const Cycle current = mems[0]->now();
-        if (options.fastForward) {
-            // Same contract as System::maybeFastForward: when every
-            // core's next record and every controller's next event
-            // lie strictly ahead, the cycles between are dead.  The
-            // cores are checked first -- their bound is one
-            // comparison, the controllers' is a queue scan.
-            Cycle wake = end;
-            bool idle = true;
-            for (const ReplayCore &core : cores) {
-                const Cycle at = core.nextEventAt();
-                idle = idle && at > current;
-                wake = std::min(wake, at);
+    if (options.fastForward) {
+        // Event-driven replay: the channels share no state (each has
+        // its own controller, mitigation stack, and record stream,
+        // and replay installs no cross-channel stat sink), so each
+        // channel runs to the horizon independently, alternating
+        // between feeding records due now and advancing the
+        // controller to the next record or its own next event --
+        // whichever is earlier.  A channel never waits for a busy
+        // sibling, and per-channel stats are bit-identical to the
+        // lockstep loop below (fast-forward invariance; TB-RFM
+        // deadlines are absolute, so lockstep cross-channel firing
+        // is preserved exactly).
+        for (std::uint32_t c = 0; c < header.channels; ++c) {
+            ReplayCore &core = cores[c];
+            MemoryController &mem = *mems[c];
+            while (mem.now() < end) {
+                const Cycle current = mem.now();
+                const Cycle core_at = core.nextEventAt();
+                if (core_at > current) {
+                    mem.advanceTo(std::min(core_at, end));
+                    continue;
+                }
+                core.tick(current);
+                if (core.blocked()) {
+                    // Full queue: a blocked enqueue is side-effect-
+                    // free, and slots only free on the controller's
+                    // own effective ticks, so jump straight to its
+                    // next work instant, tick it there, and retry the
+                    // cycle after -- exactly the first cycle the
+                    // lockstep per-cycle retry could have succeeded.
+                    const Cycle work = mem.nextWorkAt();
+                    if (work >= end) {
+                        mem.advanceTo(end);
+                        continue;
+                    }
+                    if (work > current)
+                        mem.advanceTo(work);
+                    mem.tick();
+                    continue;
+                }
+                mem.tick();
             }
-            for (const auto &mem : mems) {
-                if (!idle)
-                    break;
-                const Cycle at = mem->nextWorkAt();
-                idle = idle && at > current;
-                wake = std::min(wake, at);
-            }
-            wake = std::min(wake, end);
-            if (idle && wake > current)
-                for (auto &mem : mems)
-                    mem->skipTo(wake);
         }
-        const Cycle now = mems[0]->now();
-        if (now >= end)
-            break;
-        for (ReplayCore &core : cores)
-            core.tick(now);
-        for (auto &mem : mems)
-            mem->tick();
+    } else {
+        // Lockstep reference path: every channel ticks every cycle.
+        while (mems[0]->now() < end) {
+            const Cycle now = mems[0]->now();
+            for (ReplayCore &core : cores)
+                core.tick(now);
+            for (auto &mem : mems)
+                mem->tick();
+        }
     }
 
     ReplayResult result;

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Event-driven per-channel scheduling correctness: the event path
+ * (MemoryController::advanceTo + the exact nextWorkAt() bound) must
+ * be byte-identical to the lockstep per-cycle tick under every
+ * registered defense, in multi-channel configurations, for both the
+ * full-system and trace-replay drivers.  Any divergence here is a
+ * bug in the next-work bookkeeping -- most likely a bound that went
+ * stale (missed invalidation) or optimistic (skipped an effective
+ * tick), the class of bug that motivated the maintenance-drain
+ * fast-forward fix (src/mem/DESIGN.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cpu/system.h"
+#include "sim/design.h"
+#include "sim/trace_support.h"
+#include "trace/replay.h"
+#include "workload/suite.h"
+
+namespace pracleak {
+namespace {
+
+/** The full registered-defense catalog (scenarios_defense order). */
+const std::vector<std::string> &
+allDefenses()
+{
+    static const std::vector<std::string> defenses = {
+        "none",  "abo-only", "abo+acb-rfm", "tprac",
+        "para",  "graphene", "pb-rfm"};
+    return defenses;
+}
+
+void
+expectReplaysIdentical(const trace::ReplayResult &lockstep,
+                       const trace::ReplayResult &event,
+                       const std::string &defense)
+{
+    EXPECT_EQ(lockstep.endCycle, event.endCycle) << defense;
+    EXPECT_EQ(lockstep.replayedRequests, event.replayedRequests)
+        << defense;
+    EXPECT_EQ(lockstep.fullyDrained, event.fullyDrained) << defense;
+    ASSERT_EQ(lockstep.channels.size(), event.channels.size())
+        << defense;
+    for (std::size_t c = 0; c < lockstep.channels.size(); ++c)
+        EXPECT_TRUE(lockstep.channels[c] == event.channels[c])
+            << defense << " channel " << c;
+}
+
+void
+expectRunsIdentical(const RunResult &lockstep, const RunResult &event)
+{
+    EXPECT_EQ(lockstep.measureCycles, event.measureCycles);
+    EXPECT_EQ(lockstep.aboRfms, event.aboRfms);
+    EXPECT_EQ(lockstep.acbRfms, event.acbRfms);
+    EXPECT_EQ(lockstep.tbRfms, event.tbRfms);
+    EXPECT_EQ(lockstep.tbRfmsSkipped, event.tbRfmsSkipped);
+    EXPECT_EQ(lockstep.grapheneRfms, event.grapheneRfms);
+    EXPECT_EQ(lockstep.pbRfms, event.pbRfms);
+    EXPECT_EQ(lockstep.mitigationEvents, event.mitigationEvents);
+    EXPECT_EQ(lockstep.alerts, event.alerts);
+    EXPECT_EQ(lockstep.rowMisses, event.rowMisses);
+    EXPECT_EQ(lockstep.maxCounterSeen, event.maxCounterSeen);
+    EXPECT_EQ(lockstep.energyCounts.acts, event.energyCounts.acts);
+    EXPECT_EQ(lockstep.energyCounts.reads, event.energyCounts.reads);
+    EXPECT_EQ(lockstep.energyCounts.writes,
+              event.energyCounts.writes);
+    EXPECT_EQ(lockstep.energyCounts.refreshes,
+              event.energyCounts.refreshes);
+    ASSERT_EQ(lockstep.cores.size(), event.cores.size());
+    for (std::size_t i = 0; i < lockstep.cores.size(); ++i) {
+        EXPECT_EQ(lockstep.cores[i].instrs, event.cores[i].instrs);
+        EXPECT_EQ(lockstep.cores[i].cycles, event.cores[i].cycles);
+    }
+    ASSERT_EQ(lockstep.channels.size(), event.channels.size());
+    for (std::size_t c = 0; c < lockstep.channels.size(); ++c) {
+        EXPECT_EQ(lockstep.channels[c].energyCounts.acts,
+                  event.channels[c].energyCounts.acts);
+        EXPECT_EQ(lockstep.channels[c].tbRfms,
+                  event.channels[c].tbRfms);
+        EXPECT_EQ(lockstep.channels[c].pbRfms,
+                  event.channels[c].pbRfms);
+        EXPECT_EQ(lockstep.channels[c].alerts,
+                  event.channels[c].alerts);
+        EXPECT_EQ(lockstep.channels[c].maxCounterSeen,
+                  event.channels[c].maxCounterSeen);
+    }
+}
+
+/**
+ * Golden: record once, replay under every registered defense with
+ * the lockstep and the event scheduler; all per-channel stats, the
+ * horizon, and the drain status must match exactly.  Cross-defense
+ * replays exercise back-pressure (the blocked-core skip) and every
+ * drain flavour (RFMab, RFMpb, refresh) against the bound.
+ */
+TEST(EventQueue, EveryDefenseMultiChannelReplayIdentical)
+{
+    sim::DesignConfig design;
+    design.label = "eventqueue";
+    design.mitigation = "none";
+    design.nbo = 1024;
+    design.channels = 2;
+    sim::RunBudget budget;
+    budget.warmup = 5'000;
+    budget.measure = 40'000;
+    const sim::RecordedRun recorded = sim::recordSuiteRun(
+        sim::findSuiteEntry("h_scan_mix"), design, budget);
+
+    for (const std::string &defense : allDefenses()) {
+        trace::ReplayOptions options;
+        options.mitigation = defense;
+        options.fastForward = false;
+        const trace::ReplayResult lockstep =
+            trace::replayTrace(recorded.trace, options);
+        options.fastForward = true;
+        const trace::ReplayResult event =
+            trace::replayTrace(recorded.trace, options);
+        expectReplaysIdentical(lockstep, event, defense);
+        if (defense == "none")
+            EXPECT_TRUE(event.matchesRecorded(recorded.trace))
+                << "same-defense event replay must reproduce the "
+                   "recording bit-for-bit";
+    }
+}
+
+/**
+ * Golden: the full-system driver (System::stepAll channel stepping)
+ * under both schedulers, for the defenses with the trickiest drain
+ * behaviour, on a multi-channel config.
+ */
+TEST(EventQueue, SystemSchedulersIdenticalAcrossDefenses)
+{
+    for (const std::string &defense :
+         {std::string("tprac"), std::string("graphene"),
+          std::string("pb-rfm")}) {
+        RunResult results[2];
+        for (int ff = 0; ff < 2; ++ff) {
+            sim::DesignConfig design;
+            design.label = "eventqueue";
+            design.mitigation = defense;
+            design.channels = 2;
+            design.fastForward = ff == 1;
+            sim::RunBudget budget;
+            budget.warmup = 5'000;
+            budget.measure = 40'000;
+            results[ff] =
+                sim::runOne(sim::findSuiteEntry("m_blend"), design,
+                            budget, 4);
+        }
+        SCOPED_TRACE(defense);
+        expectRunsIdentical(results[0], results[1]);
+    }
+}
+
+/**
+ * A saturated 8-thread system keeps every channel busy nearly every
+ * cycle -- the event path's worst case, where skips are short and
+ * the cache-rebuild fusion carries the load.  Two independent event
+ * runs must agree with each other (determinism) and with lockstep
+ * (exactness).
+ */
+TEST(EventQueue, SaturatedEightThreadEventPathDeterministic)
+{
+    auto run = [](bool fast_forward) {
+        sim::DesignConfig design;
+        design.label = "eventqueue";
+        design.mitigation = "tprac";
+        design.channels = 2;
+        design.fastForward = fast_forward;
+        sim::RunBudget budget;
+        budget.warmup = 2'000;
+        budget.measure = 20'000;
+        return sim::runOne(sim::findSuiteEntry("h_rand_heavy"),
+                           design, budget, 8);
+    };
+    const RunResult lockstep = run(false);
+    const RunResult event_a = run(true);
+    const RunResult event_b = run(true);
+    expectRunsIdentical(lockstep, event_a);
+    expectRunsIdentical(event_a, event_b);
+}
+
+} // namespace
+} // namespace pracleak

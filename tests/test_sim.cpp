@@ -201,7 +201,8 @@ TEST(ScenarioRegistry, BuiltinsCoverEveryFigureAndTable)
         "perf_channel_sweep", "sidechannel_cross_channel",
         "covert_channel_parallel", "fastforward_benchmark",
         "defense_matrix_leakage", "defense_matrix_perf",
-        "defense_matrix_security", "trace_replay_defense_sweep"};
+        "defense_matrix_security", "trace_replay_defense_sweep",
+        "eventqueue_benchmark"};
     EXPECT_EQ(registry.size(), std::size(names));
     for (const char *name : names)
         EXPECT_NE(registry.find(name), nullptr) << name;
