@@ -8,7 +8,8 @@ wall-clock time: the top-level "wall_seconds" and the provenance
 git revision, grid hash, jobs, point count -- must match key for key.
 
 Usage: diff_sweep_json.py A.json B.json
-Exits 0 when equivalent, 1 (with a field-level report) when not.
+Exits 0 when equivalent, 1 (with a field-level report) when not, and
+2 when an input is missing, unreadable, or not valid JSON.
 """
 
 import json
@@ -18,9 +19,25 @@ STRIPPED_TOP_LEVEL = ("wall_seconds",)
 STRIPPED_PROVENANCE = ("generated_at",)
 
 
+def fail(message):
+    """Unusable input: report clearly and exit 2 (vs 1 = mismatch)."""
+    print(f"diff_sweep_json: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def canonical(path):
-    with open(path) as handle:
-        document = json.load(handle)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read {path}: {error.strerror or error}")
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON (line {error.lineno}, "
+             f"column {error.colno}: {error.msg}); was the sweep "
+             f"interrupted mid-write?")
+    if not isinstance(document, dict):
+        fail(f"{path} is not a sweep document (expected a JSON "
+             f"object, got {type(document).__name__})")
     for field in STRIPPED_TOP_LEVEL:
         document.pop(field, None)
     for field in STRIPPED_PROVENANCE:

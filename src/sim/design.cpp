@@ -68,7 +68,18 @@ runOne(const SuiteEntry &entry, const DesignConfig &design,
 
 namespace {
 
-/** Every knob a NoMitigation baseline run can observe. */
+/**
+ * Every knob a NoMitigation baseline run can observe.  Kept honest
+ * by the kDesignConfigFieldCount tripwire (design.h): when a field
+ * is added to DesignConfig, decide here whether the baseline can
+ * observe it and extend the key if so -- label, mode/mitigation,
+ * perBankRfm, randomRfmPerTrefi, and fastForward are deliberately
+ * excluded (the baseline forces NoMitigation, and fast-forward is
+ * statistics-invariant by the event-scheduler contract).
+ */
+static_assert(kDesignConfigFieldCount == 14,
+              "DesignConfig changed: re-audit BaselineKey before "
+              "updating the count");
 using BaselineKey =
     std::tuple<std::string, std::string, std::uint32_t, std::uint32_t,
                std::uint32_t, bool, std::uint64_t, std::uint64_t,

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cpu/system.h"
@@ -67,6 +69,63 @@ struct DesignConfig
     /** Idle-cycle fast-forward (wall-clock only; results identical). */
     bool fastForward = true;
 };
+
+namespace detail {
+
+/** Implicitly convertible to any field type: probes aggregate arity. */
+struct AnyDesignField
+{
+    template <class T> operator T() const;
+};
+
+template <std::size_t> using FieldProbe = AnyDesignField;
+
+template <class T, class... Args>
+auto braceTest(int)
+    -> decltype(T{std::declval<Args>()...}, std::true_type{});
+template <class, class...> auto braceTest(...) -> std::false_type;
+
+template <class T, std::size_t... I>
+constexpr bool
+acceptsFieldsImpl(std::index_sequence<I...>)
+{
+    return decltype(braceTest<T, FieldProbe<I>...>(0))::value;
+}
+
+/** Whether aggregate @p T brace-initializes from exactly N values. */
+template <class T, std::size_t N>
+inline constexpr bool acceptsFields =
+    acceptsFieldsImpl<T>(std::make_index_sequence<N>{});
+
+} // namespace detail
+
+/**
+ * Field-count tripwire.  DesignConfig is consumed positionally in
+ * several places that the compiler cannot check for completeness --
+ * makeSystemConfig() translates every field, and baselineKey()
+ * (design.cpp) must enumerate every baseline-visible knob or the
+ * memoization cache silently serves stale baselines.  Keeping the
+ * struct an aggregate makes designated initializers the construction
+ * idiom (`DesignConfig{.label = "x", .channels = 2}`), and the
+ * asserts below fail the build the moment a field is added or
+ * removed, pointing at the audit list instead of letting a bench go
+ * quietly wrong.  Update the count here only after updating
+ * makeSystemConfig() and baselineKey().
+ */
+inline constexpr std::size_t kDesignConfigFieldCount = 14;
+
+static_assert(std::is_aggregate_v<DesignConfig>,
+              "DesignConfig must stay an aggregate: benches and "
+              "scenarios rely on designated initializers, and the "
+              "field-count tripwire probes brace-initialization");
+static_assert(
+    detail::acceptsFields<DesignConfig, kDesignConfigFieldCount> &&
+        !detail::acceptsFields<DesignConfig,
+                               kDesignConfigFieldCount + 1>,
+    "DesignConfig gained or lost a field: audit makeSystemConfig() "
+    "and baselineKey() (design.cpp) -- a baseline-visible knob "
+    "missing from the memoization key serves stale baselines -- "
+    "then update kDesignConfigFieldCount");
 
 /** Instruction budgets for bench runs (scaled-down from the paper). */
 struct RunBudget

@@ -236,8 +236,12 @@ eventqueueBenchmark()
         "bit-identical to the recording; the win grows with channel "
         "count (each channel advances independently while lockstep "
         "ticks all of them every cycle)";
+    // One grid point on purpose: the whole sweep runs inside a
+    // single pool task, so the wall-clock legs never interleave with
+    // another point's work (the pool's calling thread participates
+    // in map(), so even --jobs 1 would otherwise overlap two points
+    // and contaminate the per-leg timings).
     scenario.grid
-        .axis("entry", {"h_rand_heavy", "m_blend", "l_compute"})
         .constant("channels", 8)
         .constant("spec", "ddr5-8000b")
         .constant("nbo", 1024)
@@ -245,9 +249,6 @@ eventqueueBenchmark()
         .constant("measure", 120'000);
 
     scenario.runPoint = [](const ParamSet &params) {
-        const SuiteEntry &entry =
-            findSuiteEntry(params.getString("entry"));
-
         DesignConfig design;
         design.label = "none";
         design.mitigation = "none";
@@ -262,67 +263,83 @@ eventqueueBenchmark()
         budget.measure =
             static_cast<std::uint64_t>(params.getInt("measure"));
 
-        const RecordedRun recorded =
-            recordSuiteRun(entry, design, budget);
+        auto bench_entry = [&](const char *entry_name,
+                               std::vector<ResultRow> &rows) {
+            const RecordedRun recorded = recordSuiteRun(
+                findSuiteEntry(entry_name), design, budget);
+
+            std::vector<ResultRow> entry_rows;
+            double lockstep_total = 0.0, event_total = 0.0;
+            for (const std::string &defense : sweepDefenses()) {
+                trace::ReplayOptions options;
+                options.mitigation = defense;
+
+                options.fastForward = false;
+                const auto lockstep_start =
+                    std::chrono::steady_clock::now();
+                const trace::ReplayResult lockstep =
+                    trace::replayTrace(recorded.trace, options);
+                const double lockstep_seconds =
+                    secondsSince(lockstep_start);
+
+                options.fastForward = true;
+                const auto event_start =
+                    std::chrono::steady_clock::now();
+                const trace::ReplayResult event =
+                    trace::replayTrace(recorded.trace, options);
+                const double event_seconds =
+                    secondsSince(event_start);
+
+                lockstep_total += lockstep_seconds;
+                event_total += event_seconds;
+
+                // The equivalence contract: every per-channel
+                // statistic, the horizon, and the drain status must
+                // match exactly.
+                bool identical =
+                    lockstep.endCycle == event.endCycle &&
+                    lockstep.replayedRequests ==
+                        event.replayedRequests &&
+                    lockstep.fullyDrained == event.fullyDrained &&
+                    lockstep.channels.size() ==
+                        event.channels.size();
+                if (identical)
+                    for (std::size_t c = 0;
+                         c < event.channels.size(); ++c)
+                        identical = identical &&
+                                    lockstep.channels[c] ==
+                                        event.channels[c];
+
+                ResultRow row = JsonValue::object();
+                row.set("entry", entry_name);
+                row.set("mitigation", defense);
+                row.set("lockstep_seconds", lockstep_seconds);
+                row.set("event_seconds", event_seconds);
+                row.set("speedup",
+                        event_seconds > 0.0
+                            ? lockstep_seconds / event_seconds
+                            : 0.0);
+                row.set("identical", identical);
+                if (defense == "none")
+                    row.set("bit_identical",
+                            event.matchesRecorded(recorded.trace));
+                entry_rows.push_back(std::move(row));
+            }
+            for (ResultRow &row : entry_rows) {
+                row.set("entry_lockstep_seconds", lockstep_total);
+                row.set("entry_event_seconds", event_total);
+                row.set("entry_speedup",
+                        event_total > 0.0
+                            ? lockstep_total / event_total
+                            : 0.0);
+                rows.push_back(std::move(row));
+            }
+        };
 
         std::vector<ResultRow> rows;
-        double lockstep_total = 0.0, event_total = 0.0;
-        for (const std::string &defense : sweepDefenses()) {
-            trace::ReplayOptions options;
-            options.mitigation = defense;
-
-            options.fastForward = false;
-            const auto lockstep_start =
-                std::chrono::steady_clock::now();
-            const trace::ReplayResult lockstep =
-                trace::replayTrace(recorded.trace, options);
-            const double lockstep_seconds =
-                secondsSince(lockstep_start);
-
-            options.fastForward = true;
-            const auto event_start =
-                std::chrono::steady_clock::now();
-            const trace::ReplayResult event =
-                trace::replayTrace(recorded.trace, options);
-            const double event_seconds = secondsSince(event_start);
-
-            lockstep_total += lockstep_seconds;
-            event_total += event_seconds;
-
-            // The equivalence contract: every per-channel statistic,
-            // the horizon, and the drain status must match exactly.
-            bool identical =
-                lockstep.endCycle == event.endCycle &&
-                lockstep.replayedRequests == event.replayedRequests &&
-                lockstep.fullyDrained == event.fullyDrained &&
-                lockstep.channels.size() == event.channels.size();
-            if (identical)
-                for (std::size_t c = 0; c < event.channels.size();
-                     ++c)
-                    identical = identical &&
-                                lockstep.channels[c] ==
-                                    event.channels[c];
-
-            ResultRow row = JsonValue::object();
-            row.set("mitigation", defense);
-            row.set("lockstep_seconds", lockstep_seconds);
-            row.set("event_seconds", event_seconds);
-            row.set("speedup", event_seconds > 0.0
-                                   ? lockstep_seconds / event_seconds
-                                   : 0.0);
-            row.set("identical", identical);
-            if (defense == "none")
-                row.set("bit_identical",
-                        event.matchesRecorded(recorded.trace));
-            rows.push_back(std::move(row));
-        }
-        for (ResultRow &row : rows) {
-            row.set("entry_lockstep_seconds", lockstep_total);
-            row.set("entry_event_seconds", event_total);
-            row.set("entry_speedup",
-                    event_total > 0.0 ? lockstep_total / event_total
-                                      : 0.0);
-        }
+        for (const char *entry_name :
+             {"h_rand_heavy", "m_blend", "l_compute"})
+            bench_entry(entry_name, rows);
         return rows;
     };
 
