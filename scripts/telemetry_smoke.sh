@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Telemetry smoke: the three observability surfaces end to end.
+#
+#  1. A sweep run with --trace-out must produce the same result JSON
+#     as an untraced run (stripping only wall_seconds and the
+#     provenance timestamp -- scripts/diff_sweep_json.py), and the
+#     trace itself must be a loadable Chrome trace with the expected
+#     lanes, spans, and checkpoint instants.
+#  2. A steal worker SIGKILLed mid-flight must show up as STALE in
+#     `pracbench status` once its heartbeat ages past the TTL, while
+#     a live worker shows up as live.
+#  3. After the live worker drains the sweep, status must report the
+#     fleet complete (done == total, eta complete).
+#
+# Usage: scripts/telemetry_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  where pracbench lives (default: build)
+#   OUT_DIR    results + checkpoint location (default: results/telemetry_smoke)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results/telemetry_smoke}"
+PRACBENCH="${BUILD_DIR}/pracbench"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+if [[ ! -x "${PRACBENCH}" ]]; then
+    echo "error: ${PRACBENCH} not found; build first" >&2
+    exit 1
+fi
+
+rm -rf "${OUT_DIR}"
+mkdir -p "${OUT_DIR}"
+
+# Same CI-sized sweep as the shard/resume smokes: six points, heavy
+# enough that the SIGKILL lands mid-flight.
+SWEEP=(defense_matrix_perf --jobs 2 --quiet --no-table
+       --set mitigation=none,para,tprac
+       --set entry=h_rand_heavy,m_blend
+       --set warmup=20000 --set measure=200000)
+CKPT="${OUT_DIR}/ckpt"
+DEAD_JOURNAL="${CKPT}/defense_matrix_perf.worker-dead.jsonl"
+CLAIMS="${CKPT}/defense_matrix_perf.claims"
+HEARTBEATS="${CKPT}/defense_matrix_perf.heartbeats"
+
+echo "==> untraced reference run"
+"${PRACBENCH}" run "${SWEEP[@]}" --out "${OUT_DIR}/reference.json"
+
+echo "==> traced run (--trace-out), must not perturb the result"
+"${PRACBENCH}" run "${SWEEP[@]}" \
+    --trace-out "${OUT_DIR}/trace.json" --out "${OUT_DIR}/traced.json"
+
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    "${OUT_DIR}/reference.json" "${OUT_DIR}/traced.json"
+
+echo "==> validating the Chrome trace"
+python3 - "${OUT_DIR}/trace.json" <<'EOF'
+import json
+import sys
+
+document = json.load(open(sys.argv[1]))
+events = document["traceEvents"]
+spans = [e for e in events if e["ph"] == "X"]
+metas = [e for e in events if e["ph"] == "M"]
+points = [e for e in spans if e["cat"] == "point"]
+phases = [e for e in spans if e["cat"] == "phase"]
+
+failures = []
+if len(points) != 6:
+    failures.append(f"expected 6 point spans, got {len(points)}")
+if not phases:
+    failures.append("no phase spans (sim / journal-flush)")
+if not any(m["name"] == "process_name" for m in metas):
+    failures.append("missing process_name metadata event")
+if not any(m["name"] == "thread_name" for m in metas):
+    failures.append("missing thread_name metadata events")
+for span in spans:
+    if span["dur"] < 0:
+        failures.append(f"negative duration on span {span['name']}")
+for failure in failures:
+    print(f"telemetry_smoke: FAIL: {failure}")
+print(f"telemetry_smoke: trace OK "
+      f"({len(events)} events, {len(points)} point spans)")
+sys.exit(1 if failures else 0)
+EOF
+
+echo "==> steal worker 'dead', SIGKILLed mid-flight"
+"${PRACBENCH}" run "${SWEEP[@]}" --checkpoint "${CKPT}" \
+    --steal --worker-id dead --claim-ttl 600 \
+    --heartbeat-seconds 0.1 &
+VICTIM=$!
+# Kill once the dead worker's journal holds a completed point
+# (header + 1 record) so status has real progress to report.
+for _ in $(seq 1 600); do
+    if [[ -f "${DEAD_JOURNAL}" ]] &&
+       [[ "$(wc -l < "${DEAD_JOURNAL}")" -ge 2 ]]; then
+        break
+    fi
+    if ! kill -0 "${VICTIM}" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -KILL "${VICTIM}" 2>/dev/null; then
+    echo "==> SIGKILLed pid ${VICTIM}"
+else
+    echo "warning: dead worker finished before the kill landed" >&2
+fi
+wait "${VICTIM}" 2>/dev/null || true
+
+if [[ ! -f "${HEARTBEATS}/dead.json" ]]; then
+    echo "error: the dead worker never wrote a heartbeat" >&2
+    exit 1
+fi
+
+# Age the corpse's heartbeat and claims past the TTL: a SIGKILLed
+# process leaves no tombstone, so staleness is purely mtime age.
+find "${HEARTBEATS}" "${CLAIMS}" -type f \
+    -exec touch -d '2 hours ago' {} + 2>/dev/null || true
+
+echo "==> status mid-flight: the dead worker must read as STALE"
+"${PRACBENCH}" status "${CKPT}" --ttl 60 \
+    | tee "${OUT_DIR}/status_midflight.txt"
+grep -q 'STALE' "${OUT_DIR}/status_midflight.txt"
+
+echo "==> steal worker 'live' finishes the sweep"
+"${PRACBENCH}" run "${SWEEP[@]}" --checkpoint "${CKPT}" \
+    --steal --worker-id live --claim-ttl 60 \
+    --trace-out "${OUT_DIR}/trace_steal.json" \
+    --out "${OUT_DIR}/live.json"
+
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    "${OUT_DIR}/reference.json" "${OUT_DIR}/live.json"
+python3 -m json.tool "${OUT_DIR}/trace_steal.json" > /dev/null
+
+echo "==> status after the drain: fleet complete"
+"${PRACBENCH}" status "${CKPT}" --ttl 60 \
+    | tee "${OUT_DIR}/status_done.txt"
+grep -q '6 done / 6 total' "${OUT_DIR}/status_done.txt"
+grep -q 'eta complete' "${OUT_DIR}/status_done.txt"
+echo "telemetry smoke passed"

@@ -38,6 +38,29 @@ inform(const std::string &msg)
 }
 
 void
+progress(const std::string &context, const std::string &msg)
+{
+    if (g_level >= 1)
+        detail::logLine(context.c_str(), msg);
+}
+
+int
+parseLogLevel(const std::string &text)
+{
+    if (text == "quiet")
+        return 0;
+    if (text == "warn")
+        return 1;
+    if (text == "info")
+        return 2;
+    if (text == "debug")
+        return 3;
+    if (text.size() == 1 && text[0] >= '0' && text[0] <= '9')
+        return text[0] - '0';
+    return -1;
+}
+
+void
 warn(const std::string &msg)
 {
     if (g_level >= 1)

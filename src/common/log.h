@@ -27,6 +27,22 @@ void logLine(const char *tag, const std::string &msg);
 /** Informational message (level >= 2). */
 void inform(const std::string &msg);
 
+/**
+ * User-facing progress line (level >= 1): `[context] msg`.  Sweep
+ * runners use the context to identify the scenario/shard/worker, so
+ * interleaved output from a fleet stays attributable.  Deliberately
+ * visible at the default level -- progress is the product for a
+ * long-running sweep, not debug chatter -- but silenced by --quiet
+ * (level 0).
+ */
+void progress(const std::string &context, const std::string &msg);
+
+/**
+ * Parse a --log-level value: "quiet"/"warn"/"info"/"debug" or a bare
+ * digit.  Returns -1 on anything unrecognized.
+ */
+int parseLogLevel(const std::string &text);
+
 /** Something works but is suspicious (level >= 1). */
 void warn(const std::string &msg);
 

@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace pracleak {
@@ -43,6 +44,39 @@ Histogram::percentile(double p) const
     return max_;
 }
 
+std::string
+Histogram::toJson() const
+{
+    std::size_t used = buckets_.size();
+    while (used > 0 && buckets_[used - 1] == 0)
+        --used;
+
+    char buffer[64];
+    std::string out = "{\"bucket_width\": ";
+    std::snprintf(buffer, sizeof(buffer), "%.17g", bucketWidth_);
+    out += buffer;
+    auto field = [&](const char *name, double value) {
+        out += ", \"";
+        out += name;
+        out += "\": ";
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+        out += buffer;
+    };
+    out += ", \"count\": " + std::to_string(count_);
+    field("sum", sum_);
+    field("min", min());
+    field("max", max());
+    out += ", \"overflow\": " + std::to_string(overflow_);
+    out += ", \"buckets\": [";
+    for (std::size_t i = 0; i < used; ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(buckets_[i]);
+    }
+    out += "]}";
+    return out;
+}
+
 std::uint64_t &
 StatSet::counter(const std::string &name)
 {
@@ -60,6 +94,15 @@ Histogram &
 StatSet::histogram(const std::string &name)
 {
     return histograms_[name];
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, double bucket_width,
+                   std::size_t num_buckets)
+{
+    return histograms_
+        .try_emplace(name, Histogram(bucket_width, num_buckets))
+        .first->second;
 }
 
 bool

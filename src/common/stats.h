@@ -44,6 +44,15 @@ class Histogram
 
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     double bucketWidth() const { return bucketWidth_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * JSON rendering for sweep rows and journal records:
+     * {bucket_width, count, sum, min, max, overflow, buckets}.
+     * Trailing empty buckets are trimmed so rows stay compact; the
+     * result round-trips through the strict sim::parseJson.
+     */
+    std::string toJson() const;
 
   private:
     double bucketWidth_;
@@ -72,6 +81,14 @@ class StatSet
 
     /** Mutable reference to (auto-created) histogram @p name. */
     Histogram &histogram(const std::string &name);
+
+    /**
+     * Like histogram(), but a histogram created by this call uses
+     * the given shape instead of the defaults.  An existing
+     * histogram keeps its shape: first registration wins.
+     */
+    Histogram &histogram(const std::string &name, double bucket_width,
+                         std::size_t num_buckets);
 
     /** Whether a histogram named @p name exists. */
     bool hasHistogram(const std::string &name) const;

@@ -176,6 +176,9 @@ System::run()
             mems_[c]->prac().mitigatedRows();
     }
     const std::uint64_t start_row_misses = stats_.get("mem.row_misses");
+    std::vector<SchedCounters> start_sched(nch);
+    for (std::size_t c = 0; c < nch; ++c)
+        start_sched[c] = mems_[c]->schedCounters();
 
     std::vector<Cycle> finish_at(n, 0);
     std::size_t finished = 0;
@@ -240,6 +243,35 @@ System::run()
         ch.alerts = mem.prac().alerts();
         ch.maxCounterSeen = mem.prac().counters().maxEverSeen();
 
+        const SchedCounters &sc = mem.schedCounters();
+        ch.sched.ticksFired = sc.ticksFired - start_sched[c].ticksFired;
+        ch.sched.cyclesJumped =
+            sc.cyclesJumped - start_sched[c].cyclesJumped;
+        ch.sched.nextWorkCacheHits =
+            sc.nextWorkCacheHits - start_sched[c].nextWorkCacheHits;
+        ch.sched.nextWorkRebuilds =
+            sc.nextWorkRebuilds - start_sched[c].nextWorkRebuilds;
+        ch.sched.nextWorkHintRebuilds =
+            sc.nextWorkHintRebuilds -
+            start_sched[c].nextWorkHintRebuilds;
+        result.sched.ticksFired += ch.sched.ticksFired;
+        result.sched.cyclesJumped += ch.sched.cyclesJumped;
+        result.sched.nextWorkCacheHits += ch.sched.nextWorkCacheHits;
+        result.sched.nextWorkRebuilds += ch.sched.nextWorkRebuilds;
+        result.sched.nextWorkHintRebuilds +=
+            ch.sched.nextWorkHintRebuilds;
+        // Ride the StatSet too, so stat dumps explain the scheduler
+        // without a RunResult in hand.
+        stats_.counter("sched.ticks_fired") += ch.sched.ticksFired;
+        stats_.counter("sched.cycles_jumped") +=
+            ch.sched.cyclesJumped;
+        stats_.counter("sched.nextwork_cache_hits") +=
+            ch.sched.nextWorkCacheHits;
+        stats_.counter("sched.nextwork_rebuilds") +=
+            ch.sched.nextWorkRebuilds;
+        stats_.counter("sched.nextwork_hint_rebuilds") +=
+            ch.sched.nextWorkHintRebuilds;
+
         result.energyCounts += ch.energyCounts;
         result.energy += ch.energy;
         result.aboRfms += ch.aboRfms;
@@ -255,6 +287,9 @@ System::run()
     }
     result.rowMisses = stats_.get("mem.row_misses") - start_row_misses;
     result.ffCyclesSkipped = ffSkipped_ - ff_skipped_at_measure_start;
+    if (stats_.hasHistogram("mem.queue_occupancy"))
+        result.queueOccupancy =
+            stats_.getHistogram("mem.queue_occupancy");
     return result;
 }
 

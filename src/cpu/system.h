@@ -87,6 +87,15 @@ struct ChannelResult
     std::uint64_t mitigationEvents = 0; //!< Mitigation::eventsTriggered
     std::uint64_t alerts = 0;
     std::uint32_t maxCounterSeen = 0;
+
+    /**
+     * Scheduler-efficiency counters over the measure window
+     * (mem/controller.h SchedCounters deltas).  Deterministic for a
+     * fixed fastForward setting, but lockstep and event-driven runs
+     * legitimately differ here -- equality checks between the two
+     * must not include these.
+     */
+    SchedCounters sched;
 };
 
 /** Whole-run outcome. */
@@ -117,6 +126,16 @@ struct RunResult
      * of measureCycles, not an addition to it.
      */
     Cycle ffCyclesSkipped = 0;
+
+    /** All-channel SchedCounters sums over the measure window. */
+    SchedCounters sched;
+
+    /**
+     * System-wide request-queue occupancy, sampled at every accepted
+     * enqueue over the whole run (warmup included -- a streaming
+     * histogram has no measure-window delta).
+     */
+    Histogram queueOccupancy;
 
     /** Sum of per-core IPCs. */
     double ipcSum() const;

@@ -52,6 +52,14 @@ MemoryController::MemoryController(const DramSpec &spec,
             spec.timing.tREFI * (r + 1) / spec.org.ranks;
     }
     hitStreak_.assign(spec.org.totalBanks(), 0);
+
+    // Resolve the queue-occupancy histogram once: enqueue() is too
+    // hot for a per-call map lookup.  Depth in requests, one bucket
+    // per slot.  Shared across channels of one System (one StatSet):
+    // the histogram profiles system-wide queue pressure.
+    if (stats_)
+        queueOccupancy_ = &stats_->histogram(
+            "mem.queue_occupancy", 1.0, config_.queueCapacity + 1);
 }
 
 bool
@@ -68,6 +76,8 @@ MemoryController::enqueue(Request request)
     if (stats_)
         ++stats_->counter(request.type == ReqType::Read ? "mem.reads"
                                                         : "mem.writes");
+    if (queueOccupancy_)
+        queueOccupancy_->sample(static_cast<double>(queue_.size()));
     return true;
 }
 
@@ -407,6 +417,7 @@ MemoryController::tickDemand()
 void
 MemoryController::tick()
 {
+    ++sched_.ticksFired;
     prac_->maybePeriodicReset(now_);
     demandHint_ = kNeverCycle;
     maintHint_ = kNeverCycle;
@@ -459,6 +470,7 @@ MemoryController::tick()
         // incremented clock.
         nextWorkCache_ = composeNextWorkAt(demandHint_, maintHint_);
         nextWorkCacheValid_ = true;
+        ++sched_.nextWorkHintRebuilds;
     }
 }
 
@@ -608,6 +620,9 @@ MemoryController::nextWorkAt() const
     if (!nextWorkCacheValid_) {
         nextWorkCache_ = computeNextWorkAt();
         nextWorkCacheValid_ = true;
+        ++sched_.nextWorkRebuilds;
+    } else {
+        ++sched_.nextWorkCacheHits;
     }
     // A valid cached bound can sit behind the clock only when the
     // caller skipped to it and is about to tick; clamping keeps the
@@ -675,8 +690,10 @@ MemoryController::composeNextWorkAt(Cycle demand_at,
 void
 MemoryController::skipTo(Cycle target)
 {
-    if (target > now_)
+    if (target > now_) {
+        sched_.cyclesJumped += target - now_;
         now_ = target;
+    }
 }
 
 void
@@ -694,7 +711,9 @@ MemoryController::advanceTo(Cycle target)
         if (nextWorkCacheValid_) {
             const Cycle at = std::max(nextWorkCache_, now_);
             if (at > now_) {
-                now_ = std::min(at, target);
+                const Cycle to = std::min(at, target);
+                sched_.cyclesJumped += to - now_;
+                now_ = to;
                 continue;
             }
         }

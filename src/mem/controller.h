@@ -133,6 +133,22 @@ struct ControllerConfig
     std::uint64_t obfuscationSeed = 0xDEC0'D5ULL;
 };
 
+/**
+ * Scheduler-efficiency counters: where the event-driven scheduler's
+ * speedup comes from, per channel.  Plain always-on integers bumped
+ * on the tick/advance paths (a StatSet map lookup per tick would
+ * cost more than the tick); System::run publishes measure-window
+ * deltas into the StatSet and RunResult.
+ */
+struct SchedCounters
+{
+    std::uint64_t ticksFired = 0;   //!< tick() invocations
+    std::uint64_t cyclesJumped = 0; //!< cycles advanced without a tick
+    std::uint64_t nextWorkCacheHits = 0; //!< nextWorkAt() cache hits
+    std::uint64_t nextWorkRebuilds = 0;  //!< full computeNextWorkAt()
+    std::uint64_t nextWorkHintRebuilds = 0; //!< cheap from tick hints
+};
+
 /** One-channel memory controller. */
 class MemoryController
 {
@@ -219,6 +235,9 @@ class MemoryController
 
     /** Install (or clear, with nullptr) the enqueue-boundary tap. */
     void setRequestTap(RequestTap *tap) { tap_ = tap; }
+
+    /** Scheduler-efficiency telemetry since construction. */
+    const SchedCounters &schedCounters() const { return sched_; }
 
   private:
     struct Entry
@@ -314,6 +333,12 @@ class MemoryController
      */
     Cycle demandHint_ = kNeverCycle;
     Cycle maintHint_ = kNeverCycle;
+
+    /** mutable: nextWorkAt() is const but counts hits/rebuilds. */
+    mutable SchedCounters sched_;
+
+    /** Cached &stats_->histogram("mem.queue_occupancy") (or null). */
+    Histogram *queueOccupancy_ = nullptr;
 
     std::vector<std::uint32_t> hitStreak_;
     std::array<std::uint64_t, kRfmReasonCount> rfmCounts_{};

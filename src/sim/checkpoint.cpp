@@ -50,7 +50,8 @@ containsNaN(const JsonValue &value)
 
 /** Render one point as a single newline-terminated JSONL record. */
 std::string
-pointLine(std::size_t index, const std::vector<ResultRow> &rows)
+pointLine(std::size_t index, const std::vector<ResultRow> &rows,
+          double wallSeconds)
 {
     JsonValue record = JsonValue::object();
     record.set("kind", "point");
@@ -59,6 +60,11 @@ pointLine(std::size_t index, const std::vector<ResultRow> &rows)
     for (const ResultRow &row : rows)
         rowArray.push(row);
     record.set("rows", std::move(rowArray));
+    // Record-level telemetry only: loaders read kind/index/rows, so
+    // wall clock never reaches result rows (which must stay
+    // byte-identical across job counts, resume, and steal merges).
+    if (wallSeconds >= 0.0)
+        record.set("wall_seconds", wallSeconds);
     // Round-trip doubles exactly: a resumed row must be bit-identical
     // to the freshly computed one or summaries recomputed from the
     // merged rows (and the final JSON itself) could drift.
@@ -581,7 +587,8 @@ JournalWriter::~JournalWriter()
 
 void
 JournalWriter::writePoint(std::size_t index,
-                          const std::vector<ResultRow> &rows)
+                          const std::vector<ResultRow> &rows,
+                          double wall_seconds)
 {
     // JSON has no NaN literal: the record stores null, which resumes
     // as Null (asDouble() == 0.0), so a summary recomputed from the
@@ -597,7 +604,7 @@ JournalWriter::writePoint(std::size_t index,
                      "run\n",
                      index);
 
-    const std::string line = pointLine(index, rows);
+    const std::string line = pointLine(index, rows, wall_seconds);
     const std::lock_guard<std::mutex> lock(mutex_);
     out_ << line;
     if (++sinceFlush_ >= flushEvery_) {
@@ -675,8 +682,10 @@ PointClaims::isDone(std::size_t point) const
 }
 
 bool
-PointClaims::tryClaim(std::size_t point)
+PointClaims::tryClaim(std::size_t point, bool *stolen)
 {
+    if (stolen)
+        *stolen = false;
     if (isDone(point))
         return false;
     const std::string path = claimPath(point);
@@ -723,6 +732,8 @@ PointClaims::tryClaim(std::size_t point)
         release(point);
         return false;
     }
+    if (stolen)
+        *stolen = true;
     return true;
 }
 

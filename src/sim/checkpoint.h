@@ -256,9 +256,18 @@ class JournalWriter
     JournalWriter(const JournalWriter &) = delete;
     JournalWriter &operator=(const JournalWriter &) = delete;
 
-    /** Journal one completed point (thread-safe). */
+    /**
+     * Journal one completed point (thread-safe).  A non-negative
+     * @p wall_seconds is stored as a record-level "wall_seconds"
+     * field -- straggler telemetry for the fleet tooling.  Loaders
+     * ignore it (they read only kind/index/rows), so rows merged
+     * from journals stay byte-identical to a live run's and
+     * duplicate points from work stealing still fuse: wall clock
+     * never contaminates result rows.
+     */
     void writePoint(std::size_t index,
-                    const std::vector<ResultRow> &rows);
+                    const std::vector<ResultRow> &rows,
+                    double wall_seconds = -1.0);
 
     /** Push everything written so far to the OS. */
     void flush();
@@ -313,9 +322,11 @@ class PointClaims
      * Try to take ownership of @p point.  False when the point is
      * already done, freshly claimed by someone else, or lost in a
      * race; true means this worker should run the point, then call
-     * markDone() and release().
+     * markDone() and release().  When @p stolen is non-null it is
+     * set to whether the claim was taken by stealing a stale one
+     * (telemetry: steals mean a worker is presumed dead).
      */
-    bool tryClaim(std::size_t point);
+    bool tryClaim(std::size_t point, bool *stolen = nullptr);
 
     /** Drop this worker's claim file (after markDone()). */
     void release(std::size_t point);

@@ -34,10 +34,12 @@
 #include <unistd.h>
 #include <vector>
 
+#include "common/log.h"
 #include "sim/checkpoint.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
 #include "sim/trace_support.h"
+#include "telemetry/fleet_status.h"
 
 using namespace pracleak::sim;
 
@@ -61,6 +63,11 @@ printUsage()
         "DIR/<name>.trc\n"
         "  replay FILE            replay a recorded trace against "
         "fresh defenses\n"
+        "  status DIR             live fleet status for a --steal "
+        "checkpoint dir:\n"
+        "                         points done/claimed/stale/"
+        "remaining, per-worker\n"
+        "                         throughput from heartbeats, ETA\n"
         "  help                   this message\n"
         "\n"
         "run options:\n"
@@ -101,10 +108,19 @@ printUsage()
         "                         <hostname>-<pid>)\n"
         "  --claim-ttl SECONDS    steal claims older than this "
         "(default: 300)\n"
+        "  --heartbeat-seconds S  steal-worker heartbeat cadence "
+        "(default: 5)\n"
         "  --smoke                one-point sweep with a tiny "
         "budget (CI smoke)\n"
         "  --quiet                suppress per-point progress lines\n"
         "  --no-table             skip the text tables on stdout\n"
+        "  --trace-out PATH       write a Chrome trace-event JSON "
+        "of the sweep\n"
+        "                         (Perfetto-loadable: one lane per "
+        "worker, a span\n"
+        "                         per point; single scenario only)\n"
+        "  --log-level LEVEL      quiet|warn|info|debug or 0-9 "
+        "(default: warn)\n"
         "\n"
         "merge options:\n"
         "  --scenario NAME        merge only NAME's journals from "
@@ -117,10 +133,22 @@ printUsage()
         "  --out/--csv/--no-table as for run\n"
         "\n"
         "record options: --workload NAME (repeatable), --set/--try-"
-        "set, --quiet\n"
+        "set, --quiet,\n"
+        "                --trace-out PATH\n"
         "replay options: --set mitigation=A,B, --verify, --out "
         "FILE.json,\n"
-        "                --no-table, --quiet\n"
+        "                --no-table, --quiet, --trace-out PATH\n"
+        "\n"
+        "status options:\n"
+        "  --scenario NAME        show only NAME (default: every "
+        "scenario with\n"
+        "                         fleet state under DIR)\n"
+        "  --ttl SECONDS          a claim or heartbeat older than "
+        "this is stale\n"
+        "                         (default: 60; use the fleet's "
+        "--claim-ttl to match\n"
+        "                         the workers' own stealing "
+        "judgement)\n"
         "\n"
         "The old flat flags (--list, --scenario NAME, --record-trace "
         "DIR,\n"
@@ -391,6 +419,19 @@ parseCommonFlag(RunCli &cli, const std::vector<std::string> &args,
         cli.options.progress = false;
     } else if (arg == "--no-table") {
         cli.table = false;
+    } else if (arg == "--trace-out") {
+        cli.options.telemetry.traceOut = nextValue(args, i, arg);
+    } else if (arg == "--log-level") {
+        const std::string value = nextValue(args, i, arg);
+        const int level = pracleak::parseLogLevel(value);
+        if (level < 0) {
+            std::fprintf(stderr,
+                         "pracbench: --log-level expects "
+                         "quiet|warn|info|debug or 0-9, got '%s'\n",
+                         value.c_str());
+            std::exit(2);
+        }
+        pracleak::setLogLevel(level);
     } else {
         return false;
     }
@@ -432,6 +473,7 @@ commandRun(const std::vector<std::string> &args)
         "--smoke",    "--quiet",      "--no-table",
         "--checkpoint", "--resume",   "--shard",
         "--steal",    "--worker-id",  "--claim-ttl",
+        "--heartbeat-seconds", "--trace-out", "--log-level",
         "--help"};
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -451,6 +493,10 @@ commandRun(const std::vector<std::string> &args)
             stealWorkerGiven = true;
         } else if (arg == "--claim-ttl") {
             cli.options.steal.claimTtlSeconds =
+                std::strtod(nextValue(args, i, arg).c_str(),
+                            nullptr);
+        } else if (arg == "--heartbeat-seconds") {
+            cli.options.telemetry.heartbeatSeconds =
                 std::strtod(nextValue(args, i, arg).c_str(),
                             nullptr);
         } else if (arg == "--help" || arg == "-h") {
@@ -510,6 +556,12 @@ commandRun(const std::vector<std::string> &args)
         std::fprintf(stderr,
                      "pracbench: multiple scenarios need a directory "
                      "for --out/--csv, not a file path\n");
+        return 2;
+    }
+    if (!single && !cli.options.telemetry.traceOut.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --trace-out records one sweep per "
+                     "file; run the scenarios separately\n");
         return 2;
     }
     // Fail fast on bad output locations: create them now rather
@@ -661,8 +713,8 @@ commandRecord(const std::vector<std::string> &args)
     RunCli cli;
     std::vector<std::string> dirs;
     static const std::vector<std::string> known = {
-        "--workload", "--set", "--try-set", "--smoke", "--quiet",
-        "--help"};
+        "--workload", "--set",       "--try-set", "--smoke",
+        "--quiet",    "--trace-out", "--log-level", "--help"};
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--workload" || arg == "-w") {
@@ -699,6 +751,7 @@ commandRecord(const std::vector<std::string> &args)
     record.dir = dirs[0];
     record.workloads = cli.workloads;
     record.progress = cli.options.progress;
+    record.traceOut = cli.options.telemetry.traceOut;
     // Soft overrides (--try-set, --smoke shrink) apply only where
     // record mode has such a knob; hard --set errors on unknown
     // keys inside the command.
@@ -720,8 +773,9 @@ commandReplay(const std::vector<std::string> &args)
     RunCli cli;
     std::vector<std::string> files;
     static const std::vector<std::string> known = {
-        "--set",      "--try-set", "--verify", "--out",
-        "--no-table", "--quiet",   "--help"};
+        "--set",       "--try-set",  "--verify", "--out",
+        "--no-table",  "--quiet",    "--trace-out",
+        "--log-level", "--help"};
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--verify") {
@@ -756,6 +810,7 @@ commandReplay(const std::vector<std::string> &args)
     replay.outJson = cli.outJson;
     replay.table = cli.table;
     replay.progress = cli.options.progress;
+    replay.traceOut = cli.options.telemetry.traceOut;
     // Hard --set keeps its contract: anything replay cannot honour
     // is an error, not a silent no-op (the stream is fixed; only
     // the defense can vary).
@@ -789,6 +844,71 @@ commandReplay(const std::vector<std::string> &args)
     if (!prepareOutputDir(replay.outJson, ".json", /*single=*/true))
         return 2;
     return runReplayCommand(replay);
+}
+
+int
+commandStatus(const std::vector<std::string> &args)
+{
+    std::string dir;
+    std::string scenarioFilter;
+    double ttl = 60.0;
+    static const std::vector<std::string> known = {
+        "--scenario", "--ttl", "--help"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--scenario" || arg == "-s") {
+            scenarioFilter = nextValue(args, i, arg);
+        } else if (arg == "--ttl") {
+            ttl = std::strtod(nextValue(args, i, arg).c_str(),
+                              nullptr);
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `status`", arg, known);
+        } else if (dir.empty()) {
+            dir = arg;
+        } else {
+            std::fprintf(stderr,
+                         "pracbench: status takes exactly one "
+                         "checkpoint directory\n");
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: status needs the fleet's "
+                     "--checkpoint directory\n");
+        return 2;
+    }
+
+    try {
+        std::vector<std::string> scenarios;
+        if (!scenarioFilter.empty())
+            scenarios.push_back(scenarioFilter);
+        else
+            scenarios = pracleak::telemetry::fleetScenarios(dir);
+        if (scenarios.empty()) {
+            std::fprintf(stderr,
+                         "pracbench: no fleet state (journals, "
+                         "claims, heartbeats) under %s\n",
+                         dir.c_str());
+            return 2;
+        }
+        for (const std::string &scenario : scenarios) {
+            const pracleak::telemetry::FleetStatus status =
+                pracleak::telemetry::collectFleetStatus(dir, scenario,
+                                                        ttl);
+            std::fputs(
+                pracleak::telemetry::renderFleetStatus(status)
+                    .c_str(),
+                stdout);
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "pracbench: %s\n", error.what());
+        return 2;
+    }
+    return 0;
 }
 
 /**
@@ -867,7 +987,9 @@ main(int argc, char **argv)
         return commandRecord(args);
     if (command == "replay")
         return commandReplay(args);
+    if (command == "status")
+        return commandStatus(args);
     rejectUnknown("command", command,
                   {"run", "list", "merge", "record", "replay",
-                   "help"});
+                   "status", "help"});
 }

@@ -1,7 +1,11 @@
 #include "sim/runner.h"
 
+#include "common/log.h"
 #include "sim/checkpoint.h"
 #include "sim/provenance.h"
+#include "telemetry/heartbeat.h"
+#include "telemetry/stopwatch.h"
+#include "telemetry/trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -126,7 +130,8 @@ effectiveGrid(const Scenario &scenario, const RunOptions &options)
  */
 SweepResult
 runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
-              const RunOptions &options)
+              const RunOptions &options,
+              telemetry::TraceSession *trace)
 {
     ThreadPool pool(options.jobs);
     const std::size_t n = grid.size();
@@ -165,10 +170,15 @@ runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
             scenario.checkpointEvery);
     }
 
-    const auto start = std::chrono::steady_clock::now();
+    // Log context identifies this run among interleaved fleet output.
+    std::string context = scenario.name;
+    if (shard.active())
+        context += " shard " + std::to_string(shard.index) + "/" +
+                   std::to_string(shard.count);
+
+    const telemetry::Stopwatch sweepClock;
     const std::size_t total = owned.size();
     std::atomic<std::size_t> completed{restored.rowsByPoint.size()};
-    std::mutex printMutex;
 
     std::vector<std::vector<ResultRow>> rowsPerPoint(n);
     std::vector<std::size_t> pendingPoints;
@@ -181,34 +191,52 @@ runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
             rowsPerPoint[i] = std::move(it->second);
     }
     if (options.progress && !restored.rowsByPoint.empty())
-        std::fprintf(stderr,
-                     "[%3zu/%zu] %s resumed from checkpoint%s\n",
-                     restored.rowsByPoint.size(), total,
-                     scenario.name.c_str(),
-                     restored.droppedTornTail
-                         ? " (torn final record re-run)"
-                         : "");
+        progress(context,
+                 std::to_string(restored.rowsByPoint.size()) + "/" +
+                     std::to_string(total) +
+                     " resumed from checkpoint" +
+                     (restored.droppedTornTail
+                          ? " (torn final record re-run)"
+                          : ""));
 
     std::vector<std::function<std::vector<ResultRow>()>> jobs;
     jobs.reserve(pendingPoints.size());
     for (const std::size_t i : pendingPoints) {
         jobs.push_back([&, i] {
             const ParamSet params = grid.point(i);
+            const int lane = ThreadPool::currentLane();
+            JsonValue spanArgs;
+            if (trace) {
+                spanArgs = JsonValue::object();
+                spanArgs.set("index", static_cast<std::int64_t>(i));
+            }
+            telemetry::TraceSpan pointSpan(trace, params.label(),
+                                           "point", lane,
+                                           std::move(spanArgs));
+            const telemetry::Stopwatch pointClock;
+            telemetry::TraceSpan simSpan(trace, "sim", "phase", lane);
             std::vector<ResultRow> rows = scenario.runPoint(params);
+            simSpan.end();
+            const double wall = pointClock.seconds();
             for (ResultRow &row : rows)
                 row = mergeParams(params, std::move(row));
             // Journal before reporting done: a kill after the
             // progress line can never lose an unjournaled point.
-            if (journal)
-                journal->writePoint(i, rows);
+            if (journal) {
+                telemetry::TraceSpan flushSpan(trace, "journal-flush",
+                                               "phase", lane);
+                journal->writePoint(i, rows, wall);
+                flushSpan.end();
+                if (trace)
+                    trace->instant("checkpoint-write", "checkpoint",
+                                   lane);
+            }
             const std::size_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (options.progress) {
-                const std::lock_guard<std::mutex> lock(printMutex);
-                std::fprintf(stderr, "[%3zu/%zu] %s %s\n", done,
-                             total, scenario.name.c_str(),
-                             params.label().c_str());
-            }
+            if (options.progress)
+                progress(context, std::to_string(done) + "/" +
+                                      std::to_string(total) + " " +
+                                      params.label());
             return rows;
         });
     }
@@ -225,10 +253,7 @@ runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
     if (scenario.summarize)
         result.summary = scenario.summarize(result.rows);
 
-    result.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    result.wallSeconds = sweepClock.seconds();
     return result;
 }
 
@@ -243,7 +268,8 @@ runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
  */
 SweepResult
 runSweepStealing(const Scenario &scenario, const ParamGrid &grid,
-                 const RunOptions &options)
+                 const RunOptions &options,
+                 telemetry::TraceSession *trace)
 {
     ThreadPool pool(options.jobs);
     const std::size_t n = grid.size();
@@ -274,14 +300,25 @@ runSweepStealing(const Scenario &scenario, const ParamGrid &grid,
         (void)rows;
         claims.markDone(index);
     }
+    const std::string context = scenario.name + " worker " + worker;
     if (options.progress && !restored.rowsByPoint.empty())
-        std::fprintf(stderr,
-                     "[worker %s] resumed %zu journaled points\n",
-                     worker.c_str(), restored.rowsByPoint.size());
+        progress(context,
+                 "resumed " +
+                     std::to_string(restored.rowsByPoint.size()) +
+                     " journaled points");
 
-    const auto start = std::chrono::steady_clock::now();
+    // Heartbeats are always on in steal mode: `pracbench status` is
+    // how an operator tells a slow fleet from a dead one.
+    const std::size_t restoredCount = restored.rowsByPoint.size();
+    telemetry::HeartbeatWriter heartbeats(
+        directory, scenario.name, worker,
+        static_cast<std::int64_t>(n),
+        options.telemetry.heartbeatSeconds);
+    heartbeats.beat(static_cast<std::int64_t>(restoredCount), -1,
+                    true);
+
+    const telemetry::Stopwatch sweepClock;
     std::atomic<std::size_t> ranHere{0};
-    std::mutex printMutex;
 
     std::vector<std::function<void()>> tasks;
     for (unsigned t = 0; t < pool.threadCount(); ++t) {
@@ -293,31 +330,68 @@ runSweepStealing(const Scenario &scenario, const ParamGrid &grid,
                     if (claims.isDone(i))
                         continue;
                     allDone = false;
-                    if (!claims.tryClaim(i))
+                    bool stolen = false;
+                    if (!claims.tryClaim(i, &stolen))
                         continue;
                     claimedAny = true;
+                    const int lane = ThreadPool::currentLane();
+                    const auto idx = static_cast<std::int64_t>(i);
+                    if (trace) {
+                        JsonValue claimArgs = JsonValue::object();
+                        claimArgs.set("index", idx);
+                        trace->instant(stolen ? "steal" : "claim",
+                                       "claims", lane,
+                                       std::move(claimArgs));
+                    }
+                    heartbeats.beat(
+                        static_cast<std::int64_t>(
+                            restoredCount +
+                            ranHere.load(std::memory_order_relaxed)),
+                        idx);
                     const ParamSet params = grid.point(i);
+                    JsonValue spanArgs;
+                    if (trace) {
+                        spanArgs = JsonValue::object();
+                        spanArgs.set("index", idx);
+                    }
+                    telemetry::TraceSpan pointSpan(
+                        trace, params.label(), "point", lane,
+                        std::move(spanArgs));
+                    const telemetry::Stopwatch pointClock;
+                    telemetry::TraceSpan simSpan(trace, "sim",
+                                                 "phase", lane);
                     std::vector<ResultRow> rows =
                         scenario.runPoint(params);
+                    simSpan.end();
+                    const double wall = pointClock.seconds();
                     for (ResultRow &row : rows)
                         row = mergeParams(params, std::move(row));
-                    journal.writePoint(i, rows); // flushed (every=1)
+                    {
+                        telemetry::TraceSpan flushSpan(
+                            trace, "journal-flush", "phase", lane);
+                        // flushed before the marker (every=1)
+                        journal.writePoint(i, rows, wall);
+                    }
                     claims.markDone(i);
                     claims.release(i);
+                    if (trace)
+                        trace->instant("done-marker", "claims", lane);
+                    pointSpan.end();
                     const std::size_t done =
                         ranHere.fetch_add(
                             1, std::memory_order_relaxed) +
                         1;
-                    if (options.progress) {
-                        const std::lock_guard<std::mutex> lock(
-                            printMutex);
-                        std::fprintf(
-                            stderr,
-                            "[worker %s] point %zu/%zu %s (%zu run "
-                            "here)\n",
-                            worker.c_str(), i + 1, n,
-                            params.label().c_str(), done);
-                    }
+                    heartbeats.beat(
+                        static_cast<std::int64_t>(restoredCount +
+                                                  done),
+                        -1);
+                    if (options.progress)
+                        progress(context,
+                                 "point " + std::to_string(i + 1) +
+                                     "/" + std::to_string(n) + " " +
+                                     params.label() + " (" +
+                                     std::to_string(done) +
+                                     " run here)");
                 }
                 if (allDone)
                     break;
@@ -332,17 +406,20 @@ runSweepStealing(const Scenario &scenario, const ParamGrid &grid,
     }
     pool.run(std::move(tasks));
     journal.flush();
+    heartbeats.beat(
+        static_cast<std::int64_t>(
+            restoredCount + ranHere.load(std::memory_order_relaxed)),
+        -1, true);
 
     // Every point now carries a done marker, and markers guarantee a
     // flushed journal record somewhere in the directory.
+    telemetry::TraceSpan mergeSpan(trace, "merge", "phase", -1);
     SweepResult result = assembleMergedResult(
         scenario,
         mergeJournals(journalFilesFor(directory, scenario.name)),
         pool.threadCount());
-    result.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    mergeSpan.end();
+    result.wallSeconds = sweepClock.seconds();
     return result;
 }
 
@@ -410,9 +487,17 @@ runScenario(const Scenario &scenario, const RunOptions &options)
 {
     validateRunOptions(options);
     const ParamGrid grid = effectiveGrid(scenario, options);
-    if (options.steal.enabled)
-        return runSweepStealing(scenario, grid, options);
-    return runSweepLocal(scenario, grid, options);
+    std::unique_ptr<telemetry::TraceSession> trace;
+    if (!options.telemetry.traceOut.empty())
+        trace = std::make_unique<telemetry::TraceSession>(
+            options.telemetry.traceOut);
+    SweepResult result =
+        options.steal.enabled
+            ? runSweepStealing(scenario, grid, options, trace.get())
+            : runSweepLocal(scenario, grid, options, trace.get());
+    if (trace)
+        trace->write();
+    return result;
 }
 
 SweepResult

@@ -91,6 +91,29 @@ struct RunOptions
      */
     ShardSpec shard;
 
+    /** Observability knobs; all off/default means zero overhead. */
+    struct Telemetry
+    {
+        /**
+         * Write a Chrome trace-event JSON (Perfetto-loadable) of the
+         * sweep here: one lane per pool worker, a span per grid
+         * point with nested sim / journal-flush phases, instants for
+         * checkpoint writes, claims, steals, and done markers.  ""
+         * disables (no timing calls, no allocation).  Tracing
+         * observes the harness only -- sweep output is byte-identical
+         * with it on or off.
+         */
+        std::string traceOut;
+
+        /**
+         * Heartbeat-file write interval for work-stealing workers
+         * (telemetry/heartbeat.h); heartbeats are always on in steal
+         * mode since `pracbench status` depends on them.
+         */
+        double heartbeatSeconds = 5.0;
+    };
+    Telemetry telemetry;
+
     /** Dynamic fleet partition: work stealing over a shared dir. */
     struct Steal
     {

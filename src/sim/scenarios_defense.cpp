@@ -377,6 +377,20 @@ defenseMatrixPerf()
                     (pair.design.energy.totalNj() -
                      pair.baseline.energy.totalNj()) /
                     pair.baseline.energy.totalNj());
+        // Scheduler-efficiency telemetry (design run, measure
+        // window): where the event-driven scheduler's speedup comes
+        // from for this defense/workload.  Deterministic, so the
+        // rows stay byte-identical across --jobs and work stealing.
+        row.set("ticks_fired", pair.design.sched.ticksFired);
+        row.set("cycles_jumped", pair.design.sched.cyclesJumped);
+        row.set("nextwork_cache_hits",
+                pair.design.sched.nextWorkCacheHits);
+        row.set("nextwork_rebuilds",
+                pair.design.sched.nextWorkRebuilds);
+        row.set("nextwork_hint_rebuilds",
+                pair.design.sched.nextWorkHintRebuilds);
+        row.set("queue_occupancy",
+                parseJson(pair.design.queueOccupancy.toJson()));
         return std::vector<ResultRow>{std::move(row)};
     };
 
@@ -385,6 +399,7 @@ defenseMatrixPerf()
         {
             double norm = 0.0, energy = 0.0;
             std::int64_t rfms = 0, events = 0, alerts = 0, count = 0;
+            std::int64_t ticks = 0, jumped = 0;
         };
         std::vector<std::string> order;
         std::map<std::string, Bucket> groups;
@@ -404,6 +419,8 @@ defenseMatrixPerf()
                            row.get("pb_rfms")->asInt();
             bucket.events += row.get("mitigation_events")->asInt();
             bucket.alerts += row.get("alerts")->asInt();
+            bucket.ticks += row.get("ticks_fired")->asInt();
+            bucket.jumped += row.get("cycles_jumped")->asInt();
             ++bucket.count;
         }
         std::vector<ResultRow> out;
@@ -417,6 +434,8 @@ defenseMatrixPerf()
             row.set("total_rfms", bucket.rfms);
             row.set("mitigation_events", bucket.events);
             row.set("alerts", bucket.alerts);
+            row.set("ticks_fired", bucket.ticks);
+            row.set("cycles_jumped", bucket.jumped);
             out.push_back(std::move(row));
         }
         return out;

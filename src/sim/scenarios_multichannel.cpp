@@ -17,12 +17,13 @@
 
 #include "sim/scenario.h"
 
-#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "telemetry/stopwatch.h"
 
 #include "attack/agents.h"
 #include "attack/covert.h"
@@ -362,11 +363,9 @@ fastforwardBenchmark()
                 sources.push_back(makeWorkload(workload, i));
             System system(makeSystemConfig(design, budget),
                           std::move(sources));
-            const auto start = std::chrono::steady_clock::now();
+            const telemetry::Stopwatch clock;
             results[ff] = system.run();
-            wall[ff] = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+            wall[ff] = clock.seconds();
         }
 
         const RunResult &off = results[0];

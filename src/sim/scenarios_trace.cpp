@@ -16,9 +16,10 @@
 
 #include "sim/scenario.h"
 
-#include <chrono>
 #include <string>
 #include <vector>
+
+#include "telemetry/stopwatch.h"
 
 #include "sim/design.h"
 #include "sim/scenario_util.h"
@@ -36,14 +37,6 @@ sweepDefenses()
         "none",  "abo-only", "abo+acb-rfm", "tprac",
         "para",  "graphene", "pb-rfm"};
     return defenses;
-}
-
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
 }
 
 Scenario
@@ -88,7 +81,7 @@ traceReplayDefenseSweep()
 
         // Leg 1: the conventional sweep -- one full simulation per
         // defense.  Keep the results for the fidelity columns.
-        const auto full_start = std::chrono::steady_clock::now();
+        const telemetry::Stopwatch full_clock;
         std::vector<RunResult> full_runs;
         full_runs.reserve(sweepDefenses().size());
         for (const std::string &defense : sweepDefenses()) {
@@ -97,11 +90,11 @@ traceReplayDefenseSweep()
             per_defense.mitigation = defense;
             full_runs.push_back(runOne(entry, per_defense, budget));
         }
-        const double full_seconds = secondsSince(full_start);
+        const double full_seconds = full_clock.seconds();
 
         // Leg 2: record once (under "none" -- that simulation IS the
         // none-defense sweep point), replay the other defenses.
-        const auto replay_start = std::chrono::steady_clock::now();
+        const telemetry::Stopwatch replay_clock;
         DesignConfig record_design = design;
         record_design.label = "none";
         record_design.mitigation = "none";
@@ -122,7 +115,7 @@ traceReplayDefenseSweep()
             replays.push_back(
                 trace::replayTrace(recorded.trace, options));
         }
-        const double replay_seconds = secondsSince(replay_start);
+        const double replay_seconds = replay_clock.seconds();
 
         // Fidelity contract, untimed: a same-defense replay must be
         // bit-identical to the recording.
@@ -275,20 +268,17 @@ eventqueueBenchmark()
                 options.mitigation = defense;
 
                 options.fastForward = false;
-                const auto lockstep_start =
-                    std::chrono::steady_clock::now();
+                const telemetry::Stopwatch lockstep_clock;
                 const trace::ReplayResult lockstep =
                     trace::replayTrace(recorded.trace, options);
                 const double lockstep_seconds =
-                    secondsSince(lockstep_start);
+                    lockstep_clock.seconds();
 
                 options.fastForward = true;
-                const auto event_start =
-                    std::chrono::steady_clock::now();
+                const telemetry::Stopwatch event_clock;
                 const trace::ReplayResult event =
                     trace::replayTrace(recorded.trace, options);
-                const double event_seconds =
-                    secondsSince(event_start);
+                const double event_seconds = event_clock.seconds();
 
                 lockstep_total += lockstep_seconds;
                 event_total += event_seconds;

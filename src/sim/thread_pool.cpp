@@ -4,6 +4,19 @@
 
 namespace pracleak::sim {
 
+namespace {
+
+/** Pool-worker lane of this thread; -1 off the pool (main thread). */
+thread_local int t_lane = -1;
+
+} // namespace
+
+int
+ThreadPool::currentLane()
+{
+    return t_lane;
+}
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     threadCount_ = threads != 0
@@ -11,7 +24,10 @@ ThreadPool::ThreadPool(unsigned threads)
                        : std::max(2u, std::thread::hardware_concurrency());
     workers_.reserve(threadCount_);
     for (unsigned i = 0; i < threadCount_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            t_lane = static_cast<int>(i);
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()

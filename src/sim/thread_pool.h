@@ -40,6 +40,15 @@ class ThreadPool
     /** Process-wide pool sized to the hardware. */
     static ThreadPool &shared();
 
+    /**
+     * Lane index of the calling thread: 0..threads-1 on a pool
+     * worker, -1 elsewhere (the main thread, including when it helps
+     * drain the queue from a blocking collector).  Telemetry uses
+     * this to assign trace spans to per-worker lanes; it is stable
+     * for the lifetime of the thread.
+     */
+    static int currentLane();
+
     unsigned threadCount() const { return threadCount_; }
 
     /** Enqueue fire-and-forget work. */

@@ -1,14 +1,16 @@
 #include "sim/trace_support.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 
 #include "mitigation/registry.h"
 #include "sim/provenance.h"
 #include "sim/runner.h"
+#include "telemetry/stopwatch.h"
+#include "telemetry/trace.h"
 #include "trace/recorder.h"
 
 namespace pracleak::sim {
@@ -142,10 +144,18 @@ runRecordTraceCommand(const RecordCliOptions &options)
             return 1;
         }
 
+        std::unique_ptr<telemetry::TraceSession> session;
+        if (!options.traceOut.empty())
+            session = std::make_unique<telemetry::TraceSession>(
+                options.traceOut);
+
         for (const std::string &workload : workloads) {
             const SuiteEntry &entry = findSuiteEntry(workload);
+            telemetry::TraceSpan span(session.get(), workload,
+                                      "record", -1);
             const RecordedRun recorded =
                 recordSuiteRun(entry, design, budget, cores);
+            span.end();
             const std::string path =
                 (std::filesystem::path(options.dir) /
                  (workload + ".trc"))
@@ -171,6 +181,8 @@ runRecordTraceCommand(const RecordCliOptions &options)
                     hashHex(fnv1a64(image)).c_str());
             }
         }
+        if (session)
+            session->write();
         return 0;
     } catch (const std::exception &error) {
         std::fprintf(stderr, "pracbench: %s\n", error.what());
@@ -211,13 +223,21 @@ runReplayCommand(const ReplayCliOptions &options)
         result.jobs = 1;
         result.points = defenses.size();
 
+        std::unique_ptr<telemetry::TraceSession> session;
+        if (!options.traceOut.empty())
+            session = std::make_unique<telemetry::TraceSession>(
+                options.traceOut);
+
         bool verified = true;
-        const auto start = std::chrono::steady_clock::now();
+        const telemetry::Stopwatch clock;
         for (const std::string &defense : defenses) {
             trace::ReplayOptions replay_options;
             replay_options.mitigation = defense;
+            telemetry::TraceSpan span(session.get(), defense,
+                                      "replay", -1);
             const trace::ReplayResult replay =
                 trace::replayTrace(trace, replay_options);
+            span.end();
 
             ResultRow row = replayRow(replay);
             if (defense == trace.header.mitigation) {
@@ -231,10 +251,9 @@ runReplayCommand(const ReplayCliOptions &options)
                 std::fprintf(stderr, "pracbench: replayed %s\n",
                              defense.c_str());
         }
-        result.wallSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+        result.wallSeconds = clock.seconds();
+        if (session)
+            session->write();
 
         ResultRow recorded = recordedStatsRow(trace);
         recorded.set("mitigation",

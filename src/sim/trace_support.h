@@ -56,6 +56,9 @@ struct RecordCliOptions
     std::map<std::string, std::vector<JsonValue>> settings;
 
     bool progress = true;
+
+    /** Chrome trace-event JSON of the recording; "" disables. */
+    std::string traceOut;
 };
 
 /** Record traces per workload into dir/<workload>.trc; 0 on success. */
@@ -79,6 +82,9 @@ struct ReplayCliOptions
     std::string outJson;                //!< optional JSON destination
     bool table = true;
     bool progress = true;
+
+    /** Chrome trace-event JSON of the replays; "" disables. */
+    std::string traceOut;
 };
 
 /** Replay a trace across defenses; 0 on success. */

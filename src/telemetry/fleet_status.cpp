@@ -1,0 +1,239 @@
+#include "telemetry/fleet_status.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+#include "telemetry/io.h"
+
+namespace pracleak::telemetry {
+
+namespace {
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/**
+ * The scenario a journal file belongs to, read from its own header
+ * line ("" when the file has no complete, well-formed header -- a
+ * worker killed mid-header leaves one behind).
+ */
+struct JournalPeek
+{
+    std::string scenario;
+    std::int64_t points = 0;
+};
+
+bool
+peekJournalHeader(const std::string &path, JournalPeek *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    if (!in || !std::getline(in, line))
+        return false;
+    // A torn header (crash mid-write, no newline) fails the parse
+    // below: records are streamed as one newline-terminated string,
+    // so a complete JSON object implies a complete record.
+    std::string error;
+    const sim::JsonValue header = sim::parseJson(line, &error);
+    if (!error.empty() ||
+        header.kind() != sim::JsonValue::Kind::Object)
+        return false;
+    const sim::JsonValue *kind = header.get("kind");
+    const sim::JsonValue *scenario = header.get("scenario");
+    const sim::JsonValue *points = header.get("points");
+    if (!kind || kind->asString() != "header" || !scenario)
+        return false;
+    out->scenario = scenario->asString();
+    out->points = points && points->isNumber() ? points->asInt() : 0;
+    return true;
+}
+
+} // namespace
+
+double
+FleetStatus::etaSeconds() const
+{
+    if (points == 0 || livePointsPerSec <= 0.0)
+        return -1.0;
+    return static_cast<double>(remaining()) / livePointsPerSec;
+}
+
+std::vector<std::string>
+fleetScenarios(const std::string &directory)
+{
+    std::set<std::string> names;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_directory()) {
+            for (const char *suffix : {".claims", ".heartbeats"})
+                if (endsWith(name, suffix))
+                    names.insert(name.substr(
+                        0, name.size() - std::string(suffix).size()));
+        } else if (endsWith(name, ".jsonl")) {
+            JournalPeek peek;
+            if (peekJournalHeader(entry.path().string(), &peek))
+                names.insert(peek.scenario);
+        }
+    }
+    return {names.begin(), names.end()};
+}
+
+FleetStatus
+collectFleetStatus(const std::string &directory,
+                   const std::string &scenario,
+                   double stale_ttl_seconds)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_directory(directory, ec))
+        throw std::runtime_error("status: " + directory +
+                                 " is not a directory");
+
+    FleetStatus status;
+    status.scenario = scenario;
+
+    // Total points, from the first journal whose header names this
+    // scenario (every journal of one sweep pins the same count).
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory, ec)) {
+        if (entry.is_directory() ||
+            !endsWith(entry.path().filename().string(), ".jsonl"))
+            continue;
+        JournalPeek peek;
+        if (peekJournalHeader(entry.path().string(), &peek) &&
+            peek.scenario == scenario && peek.points > 0) {
+            status.points = static_cast<std::size_t>(peek.points);
+            break;
+        }
+    }
+
+    // Done markers and claims (sim/checkpoint.h PointClaims layout).
+    // Steal tombstones (point-N.claim.stale-<worker>) and in-flight
+    // temporaries are neither markers nor live claims.
+    const std::string claimsDir =
+        directory + (directory.empty() || directory.back() == '/'
+                         ? ""
+                         : "/") +
+        scenario + ".claims";
+    for (const auto &entry :
+         std::filesystem::directory_iterator(claimsDir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("point-", 0) != 0)
+            continue;
+        if (endsWith(name, ".done")) {
+            ++status.done;
+        } else if (endsWith(name, ".claim")) {
+            const double age =
+                fileAgeSeconds(entry.path().string());
+            if (age >= 0.0 && age > stale_ttl_seconds)
+                ++status.claimedStale;
+            else
+                ++status.claimedFresh;
+        }
+    }
+
+    // Heartbeats: one file per worker, staleness by mtime age.
+    const std::string beatsDir =
+        heartbeatDirectory(directory, scenario);
+    for (const auto &entry :
+         std::filesystem::directory_iterator(beatsDir, ec)) {
+        const std::string path = entry.path().string();
+        if (!endsWith(path, ".json"))
+            continue;
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            continue;
+        const std::string text(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        std::string error;
+        const sim::JsonValue value = sim::parseJson(text, &error);
+        WorkerStatus worker;
+        if (!error.empty() ||
+            !Heartbeat::fromJson(value, &worker.beat, &error))
+            continue; // half-written by a foreign tool; skip
+        worker.ageSeconds = fileAgeSeconds(path);
+        worker.stale = worker.ageSeconds < 0.0 ||
+                       worker.ageSeconds > stale_ttl_seconds;
+        if (!worker.stale)
+            status.livePointsPerSec += worker.beat.pointsPerSec;
+        status.workers.push_back(std::move(worker));
+    }
+    std::sort(status.workers.begin(), status.workers.end(),
+              [](const WorkerStatus &a, const WorkerStatus &b) {
+                  return a.beat.worker < b.beat.worker;
+              });
+    return status;
+}
+
+std::string
+renderFleetStatus(const FleetStatus &status)
+{
+    char line[256];
+    std::string out;
+
+    std::snprintf(line, sizeof(line), "scenario %s\n",
+                  status.scenario.c_str());
+    out += line;
+    if (status.points > 0)
+        std::snprintf(line, sizeof(line),
+                      "  points    %zu done / %zu total (%zu "
+                      "remaining)\n",
+                      status.done, status.points,
+                      status.remaining());
+    else
+        std::snprintf(line, sizeof(line),
+                      "  points    %zu done / total unknown (no "
+                      "journal header yet)\n",
+                      status.done);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  claims    %zu in flight, %zu stale\n",
+                  status.claimedFresh, status.claimedStale);
+    out += line;
+
+    std::size_t live = 0;
+    for (const WorkerStatus &worker : status.workers)
+        live += worker.stale ? 0 : 1;
+    std::snprintf(line, sizeof(line),
+                  "  workers   %zu live, %zu stale\n", live,
+                  status.workers.size() - live);
+    out += line;
+    for (const WorkerStatus &worker : status.workers) {
+        std::snprintf(
+            line, sizeof(line),
+            "    %-24s %s  pid %lld  %lld done  %.2f pts/s  "
+            "(last beat %.1fs ago)\n",
+            worker.beat.worker.c_str(),
+            worker.stale ? "STALE" : "live ",
+            static_cast<long long>(worker.beat.pid),
+            static_cast<long long>(worker.beat.pointsDone),
+            worker.beat.pointsPerSec, worker.ageSeconds);
+        out += line;
+    }
+
+    const double eta = status.etaSeconds();
+    if (status.points > 0 && status.remaining() == 0)
+        out += "  eta       complete\n";
+    else if (eta >= 0.0) {
+        std::snprintf(line, sizeof(line),
+                      "  eta       %.0fs at %.2f pts/s\n", eta,
+                      status.livePointsPerSec);
+        out += line;
+    } else {
+        out += "  eta       unknown (no live workers)\n";
+    }
+    return out;
+}
+
+} // namespace pracleak::telemetry

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Live fleet status over a work-stealing checkpoint directory: fuse
+ * the done markers and claim files (sim/checkpoint.h PointClaims),
+ * the journal headers, and the worker heartbeats
+ * (telemetry/heartbeat.h) into one done/claimed/stale/remaining
+ * picture with per-worker throughput and an ETA.  Read-only: status
+ * never touches claims, journals, or markers, so it is safe to run
+ * against a directory a live fleet is working in.
+ */
+
+#ifndef PRACLEAK_TELEMETRY_FLEET_STATUS_H
+#define PRACLEAK_TELEMETRY_FLEET_STATUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/heartbeat.h"
+
+namespace pracleak::telemetry {
+
+/** One worker as seen through its heartbeat file. */
+struct WorkerStatus
+{
+    Heartbeat beat;
+    double ageSeconds = 0.0; //!< since the heartbeat file's mtime
+    bool stale = false;      //!< ageSeconds > the status TTL
+};
+
+/** Everything `pracbench status` shows for one scenario. */
+struct FleetStatus
+{
+    std::string scenario;
+    std::size_t points = 0; //!< 0 when no journal header was found
+    std::size_t done = 0;
+    std::size_t claimedFresh = 0;
+    std::size_t claimedStale = 0;
+    std::vector<WorkerStatus> workers;
+
+    /** Summed throughput of the non-stale workers. */
+    double livePointsPerSec = 0.0;
+
+    std::size_t remaining() const
+    {
+        return points > done ? points - done : 0;
+    }
+
+    /** remaining() / livePointsPerSec; < 0 when unknowable. */
+    double etaSeconds() const;
+};
+
+/**
+ * Scenario names with any footprint under @p directory: a journal,
+ * a claims directory, or a heartbeats directory.  Sorted.
+ */
+std::vector<std::string>
+fleetScenarios(const std::string &directory);
+
+/**
+ * Collect the status of @p scenario under @p directory.  A claim or
+ * heartbeat whose mtime is older than @p stale_ttl_seconds counts as
+ * stale (use the fleet's --claim-ttl for claims to match the
+ * stealing workers' own judgement).  Throws std::runtime_error when
+ * the directory does not exist.
+ */
+FleetStatus collectFleetStatus(const std::string &directory,
+                               const std::string &scenario,
+                               double stale_ttl_seconds);
+
+/** Human-readable multi-line rendering (pracbench status). */
+std::string renderFleetStatus(const FleetStatus &status);
+
+} // namespace pracleak::telemetry
+
+#endif // PRACLEAK_TELEMETRY_FLEET_STATUS_H

@@ -1,0 +1,124 @@
+#include "telemetry/heartbeat.h"
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "telemetry/io.h"
+
+namespace pracleak::telemetry {
+
+std::string
+heartbeatDirectory(const std::string &directory,
+                   const std::string &scenario)
+{
+    std::string dir = directory;
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+    return dir + scenario + ".heartbeats";
+}
+
+std::string
+heartbeatPath(const std::string &directory,
+              const std::string &scenario, const std::string &worker)
+{
+    return heartbeatDirectory(directory, scenario) + "/" + worker +
+           ".json";
+}
+
+sim::JsonValue
+Heartbeat::toJson() const
+{
+    sim::JsonValue out = sim::JsonValue::object();
+    out.set("kind", "heartbeat");
+    out.set("worker", worker);
+    out.set("pid", pid);
+    out.set("scenario", scenario);
+    out.set("points", totalPoints);
+    out.set("points_done", pointsDone);
+    out.set("current_point", currentPoint);
+    out.set("points_per_sec", pointsPerSec);
+    out.set("uptime_seconds", uptimeSeconds);
+    return out;
+}
+
+bool
+Heartbeat::fromJson(const sim::JsonValue &value, Heartbeat *out,
+                    std::string *error)
+{
+    if (value.kind() != sim::JsonValue::Kind::Object) {
+        if (error)
+            *error = "heartbeat is not a JSON object";
+        return false;
+    }
+    const sim::JsonValue *kind = value.get("kind");
+    if (!kind || kind->asString() != "heartbeat") {
+        if (error)
+            *error = "not a heartbeat record";
+        return false;
+    }
+    auto str = [&](const char *name) {
+        const sim::JsonValue *field = value.get(name);
+        return field ? field->asString() : std::string();
+    };
+    auto num = [&](const char *name, std::int64_t fallback) {
+        const sim::JsonValue *field = value.get(name);
+        return field && field->isNumber() ? field->asInt() : fallback;
+    };
+    auto dbl = [&](const char *name) {
+        const sim::JsonValue *field = value.get(name);
+        return field && field->isNumber() ? field->asDouble() : 0.0;
+    };
+    out->worker = str("worker");
+    out->pid = num("pid", 0);
+    out->scenario = str("scenario");
+    out->totalPoints = num("points", 0);
+    out->pointsDone = num("points_done", 0);
+    out->currentPoint = num("current_point", -1);
+    out->pointsPerSec = dbl("points_per_sec");
+    out->uptimeSeconds = dbl("uptime_seconds");
+    if (error)
+        error->clear();
+    return true;
+}
+
+HeartbeatWriter::HeartbeatWriter(const std::string &directory,
+                                 const std::string &scenario,
+                                 std::string worker,
+                                 std::int64_t total_points,
+                                 double interval_seconds)
+    : path_(heartbeatPath(directory, scenario, worker)),
+      scenario_(scenario), worker_(std::move(worker)),
+      totalPoints_(total_points), intervalSeconds_(interval_seconds)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(
+        heartbeatDirectory(directory, scenario), ec);
+}
+
+void
+HeartbeatWriter::beat(std::int64_t points_done,
+                      std::int64_t current_point, bool force)
+{
+    const double now = uptime_.seconds();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!force && lastWriteAt_ >= 0.0 &&
+        now - lastWriteAt_ < intervalSeconds_)
+        return;
+    lastWriteAt_ = now;
+
+    Heartbeat beat;
+    beat.worker = worker_;
+    beat.pid = static_cast<std::int64_t>(::getpid());
+    beat.scenario = scenario_;
+    beat.totalPoints = totalPoints_;
+    beat.pointsDone = points_done;
+    beat.currentPoint = current_point;
+    beat.pointsPerSec =
+        now > 0.0 ? static_cast<double>(points_done) / now : 0.0;
+    beat.uptimeSeconds = now;
+    // A failed write is already reported by writeAtomic; heartbeats
+    // are advisory, so the sweep must not die over one.
+    writeAtomic(path_, beat.toJson().dump(1) + "\n");
+}
+
+} // namespace pracleak::telemetry

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Worker heartbeats for live fleet status: each work-stealing worker
+ * periodically writes a small JSON file (atomic rename) into
+ * DIR/<scenario>.heartbeats/ with its pid, progress, and throughput.
+ * `pracbench status DIR` reads the directory to show who is alive,
+ * who is stale, and how fast the fleet is moving.
+ *
+ * Staleness is judged by the heartbeat file's mtime, not its
+ * contents: a SIGKILLed worker leaves its last (complete, thanks to
+ * the atomic rename) heartbeat behind, and the file simply stops
+ * getting younger -- no shutdown handshake required.
+ */
+
+#ifndef PRACLEAK_TELEMETRY_HEARTBEAT_H
+#define PRACLEAK_TELEMETRY_HEARTBEAT_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sim/json.h"
+#include "telemetry/stopwatch.h"
+
+namespace pracleak::telemetry {
+
+/** DIR/<scenario>.heartbeats */
+std::string heartbeatDirectory(const std::string &directory,
+                               const std::string &scenario);
+
+/** DIR/<scenario>.heartbeats/<worker>.json */
+std::string heartbeatPath(const std::string &directory,
+                          const std::string &scenario,
+                          const std::string &worker);
+
+/** One worker's self-reported state (heartbeat file contents). */
+struct Heartbeat
+{
+    std::string worker;
+    std::int64_t pid = 0;
+    std::string scenario;
+    std::int64_t totalPoints = 0;
+    std::int64_t pointsDone = 0;   //!< completed by this worker
+    std::int64_t currentPoint = -1; //!< claimed right now; -1 = idle
+    double pointsPerSec = 0.0;
+    double uptimeSeconds = 0.0;
+
+    sim::JsonValue toJson() const;
+
+    /**
+     * Parse a heartbeat file's JSON.  Returns false (and fills
+     * @p error) when @p value is not a heartbeat object; missing
+     * numeric fields default to 0 / -1.
+     */
+    static bool fromJson(const sim::JsonValue &value, Heartbeat *out,
+                         std::string *error);
+};
+
+/**
+ * Throttled heartbeat emitter for one worker.  beat() is cheap when
+ * the interval has not elapsed (one clock read, no I/O) and
+ * thread-safe, so every pool thread of a worker process can call it
+ * after each completed point.
+ */
+class HeartbeatWriter
+{
+  public:
+    /**
+     * Creates the heartbeat directory.  @p interval_seconds
+     * throttles writes; 0 writes on every beat() (tests).
+     */
+    HeartbeatWriter(const std::string &directory,
+                    const std::string &scenario, std::string worker,
+                    std::int64_t total_points,
+                    double interval_seconds = 5.0);
+
+    /**
+     * Report progress.  Writes the heartbeat file when @p force or
+     * when interval_seconds have passed since the last write.
+     */
+    void beat(std::int64_t points_done, std::int64_t current_point,
+              bool force = false);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::string scenario_;
+    std::string worker_;
+    std::int64_t totalPoints_ = 0;
+    double intervalSeconds_ = 5.0;
+    Stopwatch uptime_;
+    std::mutex mutex_;
+    double lastWriteAt_ = -1.0; //!< uptime seconds; <0 = never
+};
+
+} // namespace pracleak::telemetry
+
+#endif // PRACLEAK_TELEMETRY_HEARTBEAT_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One wall-clock stopwatch for every hand-rolled
+ * `std::chrono::steady_clock` timing block the harness used to carry
+ * (sweep runner, fast-forward benches, trace replay).  Wall-clock
+ * telemetry only: nothing in the simulation may read it, so results
+ * stay independent of the host's clock.
+ */
+
+#ifndef PRACLEAK_TELEMETRY_STOPWATCH_H
+#define PRACLEAK_TELEMETRY_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace pracleak::telemetry {
+
+/** Monotonic elapsed-time counter, started at construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Reset the epoch to now. */
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Seconds since construction / the last restart(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Whole microseconds since the epoch (Chrome trace `ts` unit). */
+    std::uint64_t micros() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace pracleak::telemetry
+
+#endif // PRACLEAK_TELEMETRY_STOPWATCH_H

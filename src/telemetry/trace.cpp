@@ -1,0 +1,124 @@
+#include "telemetry/trace.h"
+
+#include <unistd.h>
+
+#include "telemetry/io.h"
+
+namespace pracleak::telemetry {
+
+namespace {
+
+/** Chrome thread id for a lane: main (-1) is tid 0, workers 1..N. */
+int
+laneTid(int lane)
+{
+    return lane + 1;
+}
+
+} // namespace
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path))
+{
+}
+
+void
+TraceSession::complete(const std::string &name,
+                       const std::string &category, int lane,
+                       std::uint64_t start_us, std::uint64_t dur_us,
+                       sim::JsonValue args)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{'X', name, category, lane, start_us,
+                            dur_us, std::move(args)});
+}
+
+void
+TraceSession::instant(const std::string &name,
+                      const std::string &category, int lane,
+                      sim::JsonValue args)
+{
+    const std::uint64_t ts = nowMicros();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(
+        Event{'i', name, category, lane, ts, 0, std::move(args)});
+}
+
+void
+TraceSession::nameLane(int lane, const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    laneNames_[lane] = name;
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+bool
+TraceSession::write()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::int64_t pid = static_cast<std::int64_t>(::getpid());
+
+    sim::JsonValue traceEvents = sim::JsonValue::array();
+
+    // Metadata first: process name plus one named lane per thread id
+    // seen, so Perfetto shows "main" / "worker-N" instead of bare
+    // numbers.
+    {
+        sim::JsonValue meta = sim::JsonValue::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", pid);
+        meta.set("tid", 0);
+        sim::JsonValue args = sim::JsonValue::object();
+        args.set("name", "pracbench");
+        meta.set("args", std::move(args));
+        traceEvents.push(std::move(meta));
+    }
+    std::map<int, std::string> lanes = laneNames_;
+    for (const Event &event : events_)
+        if (!lanes.count(event.lane))
+            lanes[event.lane] =
+                event.lane < 0
+                    ? "main"
+                    : "worker-" + std::to_string(event.lane);
+    for (const auto &[lane, name] : lanes) {
+        sim::JsonValue meta = sim::JsonValue::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", pid);
+        meta.set("tid", laneTid(lane));
+        sim::JsonValue args = sim::JsonValue::object();
+        args.set("name", name);
+        meta.set("args", std::move(args));
+        traceEvents.push(std::move(meta));
+    }
+
+    for (const Event &event : events_) {
+        sim::JsonValue out = sim::JsonValue::object();
+        out.set("name", event.name);
+        out.set("cat", event.category);
+        out.set("ph", std::string(1, event.phase));
+        out.set("ts", event.tsUs);
+        if (event.phase == 'X')
+            out.set("dur", event.durUs);
+        else
+            out.set("s", "t"); // thread-scoped instant
+        out.set("pid", pid);
+        out.set("tid", laneTid(event.lane));
+        if (event.args.kind() == sim::JsonValue::Kind::Object)
+            out.set("args", event.args);
+        traceEvents.push(std::move(out));
+    }
+
+    sim::JsonValue root = sim::JsonValue::object();
+    root.set("traceEvents", std::move(traceEvents));
+    root.set("displayTimeUnit", "ms");
+    return writeAtomic(path_, root.dump() + "\n");
+}
+
+} // namespace pracleak::telemetry

@@ -350,14 +350,24 @@ TEST_F(CheckpointTest, DeterministicUnderSaturatedPool)
     EXPECT_EQ(first, canonical(run(baseOptions(8))));
 
     // Record order varies with scheduling; the record *set* must
-    // not.  Drop the timestamped header, sort the point records.
+    // not.  Drop the timestamped header and the (wall-clock, so
+    // inherently nondeterministic) wall_seconds telemetry field,
+    // then sort the point records.
     const auto sortedPoints = [](const std::string &text) {
         std::vector<std::string> lines;
         std::size_t pos = 0;
         while (pos < text.size()) {
             const std::size_t newline = text.find('\n', pos);
-            lines.push_back(text.substr(pos, newline - pos));
+            std::string line = text.substr(pos, newline - pos);
             pos = newline + 1;
+            std::string error;
+            const JsonValue record = parseJson(line, &error);
+            EXPECT_TRUE(error.empty()) << error;
+            JsonValue cleaned = JsonValue::object();
+            for (const auto &[name, member] : record.members())
+                if (name != "wall_seconds")
+                    cleaned.set(name, member);
+            lines.push_back(cleaned.dumpRoundTrip());
         }
         lines.erase(lines.begin());
         std::sort(lines.begin(), lines.end());
