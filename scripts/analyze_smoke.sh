@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Analyze smoke: the leakage-observability pipeline end to end.
+#
+#  1. A leakage_timeline sweep with --series-out must emit the same
+#     sweep JSON as one without it (the observer observes, it never
+#     perturbs -- scripts/diff_sweep_json.py modulo wall_seconds and
+#     the provenance timestamp).
+#  2. `pracbench analyze --defense-matrix` over the recorded series
+#     alone must reproduce, per defense, the scenario's own in-sim
+#     verdicts AND the paper's defense-matrix goldens (the same table
+#     defense_matrix_leakage pins): ABO/ACB leak channel-wide,
+#     Graphene/PB-RFM leak same-bank, PARA/TB-RFM and no-defense
+#     leak nothing.
+#  3. record + replay with --series-out must produce a series the
+#     analyzer accepts, with one record per replayed defense.
+#
+# Usage: scripts/analyze_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  where pracbench lives (default: build)
+#   OUT_DIR    results location (default: results/analyze_smoke)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results/analyze_smoke}"
+PRACBENCH="${BUILD_DIR}/pracbench"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+if [[ ! -x "${PRACBENCH}" ]]; then
+    echo "error: ${PRACBENCH} not found; build first" >&2
+    exit 1
+fi
+
+rm -rf "${OUT_DIR}"
+mkdir -p "${OUT_DIR}"
+
+# CI-sized: the full 7-defense axis (the matrix is the point -- no
+# --smoke, which would truncate it) with shortened bursts.
+SWEEP=(leakage_timeline --jobs 2 --quiet --no-table
+       --set window_ms=0.15 --set bursts=4)
+
+echo "==> reference sweep (no series)"
+"${PRACBENCH}" run "${SWEEP[@]}" --out "${OUT_DIR}/reference.json"
+
+echo "==> sweep with --series-out, must not perturb the result"
+"${PRACBENCH}" run "${SWEEP[@]}" \
+    --series-out "${OUT_DIR}/timeline.jsonl" \
+    --out "${OUT_DIR}/observed.json"
+
+python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
+    "${OUT_DIR}/reference.json" "${OUT_DIR}/observed.json"
+
+echo "==> offline analysis of the recorded series"
+"${PRACBENCH}" analyze "${OUT_DIR}/timeline.jsonl" \
+    --defense-matrix --out "${OUT_DIR}/verdicts.json" --no-table
+
+echo "==> analyzer verdicts vs in-sim verdicts vs paper goldens"
+python3 - "${OUT_DIR}/observed.json" "${OUT_DIR}/verdicts.json" <<'EOF'
+import json
+import sys
+
+sweep = json.load(open(sys.argv[1]))
+analysis = json.load(open(sys.argv[2]))
+
+# The paper's defense matrix (defense_matrix_leakage's goldens).
+GOLDEN = {
+    "none": "none",
+    "abo-only": "any probe",
+    "abo+acb-rfm": "any probe",
+    "tprac": "none",
+    "para": "none",
+    "graphene": "same-bank probe",
+    "pb-rfm": "same-bank probe",
+}
+
+in_sim = {row["mitigation"]: row["observable_to"]
+          for row in sweep["summary"]}
+offline = {row["mitigation"]: row["observable_to"]
+           for row in analysis["summary"]}
+
+failures = []
+if set(offline) != set(GOLDEN):
+    failures.append(f"defense set mismatch: {sorted(offline)}")
+for defense, expected in GOLDEN.items():
+    got_sim = in_sim.get(defense)
+    got_offline = offline.get(defense)
+    if got_sim != expected:
+        failures.append(
+            f"{defense}: in-sim verdict {got_sim!r}, golden {expected!r}")
+    if got_offline != expected:
+        failures.append(
+            f"{defense}: offline verdict {got_offline!r}, "
+            f"golden {expected!r}")
+for failure in failures:
+    print(f"FAIL: {failure}", file=sys.stderr)
+if failures:
+    sys.exit(1)
+print(f"defense matrix reproduced offline for all "
+      f"{len(GOLDEN)} defenses")
+EOF
+
+echo "==> record/replay with --series-out"
+"${PRACBENCH}" record "${OUT_DIR}/traces" --workload h_rand_heavy \
+    --set warmup=2000 --set measure=10000 \
+    --series-out "${OUT_DIR}/record_series.jsonl" --quiet
+"${PRACBENCH}" replay "${OUT_DIR}/traces/h_rand_heavy.trc" \
+    --set mitigation=tprac,pb-rfm --quiet --no-table \
+    --series-out "${OUT_DIR}/replay_series.jsonl" \
+    --out "${OUT_DIR}/replay.json"
+
+echo "==> analyzer accepts record + replay series"
+"${PRACBENCH}" analyze "${OUT_DIR}/record_series.jsonl" \
+    "${OUT_DIR}/replay_series.jsonl" \
+    --out "${OUT_DIR}/replay_verdicts.json" --no-table
+python3 - "${OUT_DIR}/replay_verdicts.json" <<'EOF'
+import json
+import sys
+
+analysis = json.load(open(sys.argv[1]))
+rows = analysis["rows"]
+labels = [row["label"] for row in rows]
+failures = []
+if len(rows) < 3:
+    failures.append(f"expected >=3 series records "
+                    f"(1 record + 2 replays), got {len(rows)}")
+if not any("tprac" in label for label in labels):
+    failures.append(f"no tprac replay record in {labels}")
+if not any("pb-rfm" in label for label in labels):
+    failures.append(f"no pb-rfm replay record in {labels}")
+if any(row["windows"] == 0 for row in rows):
+    failures.append("a series record holds no windows")
+for failure in failures:
+    print(f"FAIL: {failure}", file=sys.stderr)
+if failures:
+    sys.exit(1)
+print(f"record/replay series analyzed: {labels}")
+EOF
+
+echo "analyze smoke passed"

@@ -56,6 +56,7 @@ echo "==> run: subcommand and flat flag sweep identically"
     --no-table --out "${OUT_DIR}/run_old.json" \
     2> "${OUT_DIR}/run_old.err"
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/run_new.json" "${OUT_DIR}/run_old.json"
 grep -q "deprecated" "${OUT_DIR}/run_old.err"
 
@@ -76,6 +77,7 @@ grep -q "deprecated" "${OUT_DIR}/record_old.err"
     --verify --quiet --no-table \
     --out "${OUT_DIR}/replay_old.json" 2> "${OUT_DIR}/replay_old.err"
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/replay_new.json" "${OUT_DIR}/replay_old.json"
 grep -q "deprecated" "${OUT_DIR}/replay_old.err"
 

@@ -2,12 +2,20 @@
 """Diff two pracbench sweep JSON files modulo nondeterminism.
 
 A checkpointed-and-resumed sweep must emit exactly what an
-uninterrupted run emits, except for the two fields that track
-wall-clock time: the top-level "wall_seconds" and the provenance
-"generated_at" timestamp.  Everything else -- rows, summary, grid,
-git revision, grid hash, jobs, point count -- must match key for key.
+uninterrupted run emits, except for the fields that track wall-clock
+time: the top-level "wall_seconds" and the provenance "generated_at"
+timestamp.  Everything else -- rows, summary, grid, git revision,
+grid hash, jobs, point count -- must match key for key.
 
-Usage: diff_sweep_json.py A.json B.json
+Usage: diff_sweep_json.py [--ignore KEY]... A.json B.json
+
+"wall_seconds" and "generated_at" are always ignored; each --ignore
+KEY (repeatable) additionally strips that key wherever it appears in
+either document, at any nesting depth -- for comparisons across runs
+that legitimately differ in a provenance-ish field (say, --ignore
+jobs for sweeps run at different widths, or --ignore trace for
+replay outputs naming different trace paths).
+
 Exits 0 when equivalent, 1 (with a field-level report) when not, and
 2 when an input is missing, unreadable, or not valid JSON.
 """
@@ -15,8 +23,7 @@ Exits 0 when equivalent, 1 (with a field-level report) when not, and
 import json
 import sys
 
-STRIPPED_TOP_LEVEL = ("wall_seconds",)
-STRIPPED_PROVENANCE = ("generated_at",)
+ALWAYS_IGNORED = ("wall_seconds", "generated_at")
 
 
 def fail(message):
@@ -25,7 +32,18 @@ def fail(message):
     sys.exit(2)
 
 
-def canonical(path):
+def strip(document, ignored):
+    """Drop every ignored key at any depth (dicts only; lists recurse)."""
+    if isinstance(document, dict):
+        return {key: strip(value, ignored)
+                for key, value in document.items()
+                if key not in ignored}
+    if isinstance(document, list):
+        return [strip(item, ignored) for item in document]
+    return document
+
+
+def canonical(path, ignored):
     try:
         with open(path) as handle:
             document = json.load(handle)
@@ -38,11 +56,7 @@ def canonical(path):
     if not isinstance(document, dict):
         fail(f"{path} is not a sweep document (expected a JSON "
              f"object, got {type(document).__name__})")
-    for field in STRIPPED_TOP_LEVEL:
-        document.pop(field, None)
-    for field in STRIPPED_PROVENANCE:
-        document.get("provenance", {}).pop(field, None)
-    return document
+    return strip(document, ignored)
 
 
 def report(a, b, path="$"):
@@ -74,15 +88,38 @@ def report(a, b, path="$"):
     return 1
 
 
-def main():
-    if len(sys.argv) != 3:
+def parse_args(argv):
+    ignored = set(ALWAYS_IGNORED)
+    paths = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--ignore":
+            if i + 1 >= len(argv):
+                fail("--ignore needs a KEY")
+            ignored.add(argv[i + 1])
+            i += 2
+        elif arg.startswith("--ignore="):
+            ignored.add(arg[len("--ignore="):])
+            i += 1
+        elif arg.startswith("-") and arg not in ("-",):
+            fail(f"unknown option {arg}")
+        else:
+            paths.append(arg)
+            i += 1
+    if len(paths) != 2:
         sys.exit(__doc__)
-    a, b = map(canonical, sys.argv[1:3])
+    return paths, ignored
+
+
+def main():
+    paths, ignored = parse_args(sys.argv[1:])
+    a, b = (canonical(path, ignored) for path in paths)
     if a == b:
-        print(f"equivalent: {sys.argv[1]} == {sys.argv[2]} "
-              f"(modulo {', '.join(STRIPPED_TOP_LEVEL + STRIPPED_PROVENANCE)})")
+        print(f"equivalent: {paths[0]} == {paths[1]} "
+              f"(modulo {', '.join(sorted(ignored))})")
         return 0
-    print(f"MISMATCH between {sys.argv[1]} and {sys.argv[2]}:")
+    print(f"MISMATCH between {paths[0]} and {paths[1]}:")
     report(a, b)
     return 1
 

@@ -80,5 +80,6 @@ echo "==> resuming from $(records) journal records"
 
 echo "==> diffing resumed output against the reference"
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/reference.json" "${OUT_DIR}/resumed.json"
 echo "resume smoke passed"

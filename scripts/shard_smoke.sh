@@ -95,9 +95,11 @@ echo "==> merging $(ls "${CKPT}"/*.jsonl | wc -l) journals"
 
 echo "==> diffing merged and live outputs against the reference"
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/reference.json" "${OUT_DIR}/merged.json"
 # A finished steal worker exits holding the complete merged result.
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/reference.json" "${OUT_DIR}/live.json"
 # The CSV carries no timestamps: byte-identical, full stop.
 cmp "${OUT_DIR}/reference.csv" "${OUT_DIR}/merged.csv"

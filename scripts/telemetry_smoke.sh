@@ -50,6 +50,7 @@ echo "==> traced run (--trace-out), must not perturb the result"
     --trace-out "${OUT_DIR}/trace.json" --out "${OUT_DIR}/traced.json"
 
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/reference.json" "${OUT_DIR}/traced.json"
 
 echo "==> validating the Chrome trace"
@@ -129,6 +130,7 @@ echo "==> steal worker 'live' finishes the sweep"
     --out "${OUT_DIR}/live.json"
 
 python3 "${SCRIPT_DIR}/diff_sweep_json.py" \
+    --ignore wall_seconds --ignore generated_at \
     "${OUT_DIR}/reference.json" "${OUT_DIR}/live.json"
 python3 -m json.tool "${OUT_DIR}/trace_steal.json" > /dev/null
 
@@ -136,5 +138,5 @@ echo "==> status after the drain: fleet complete"
 "${PRACBENCH}" status "${CKPT}" --ttl 60 \
     | tee "${OUT_DIR}/status_done.txt"
 grep -q '6 done / 6 total' "${OUT_DIR}/status_done.txt"
-grep -q 'eta complete' "${OUT_DIR}/status_done.txt"
+grep -Eq 'eta +complete' "${OUT_DIR}/status_done.txt"
 echo "telemetry smoke passed"

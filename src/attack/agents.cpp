@@ -1,5 +1,7 @@
 #include "attack/agents.h"
 
+#include "attack/visible_bus.h"
+
 namespace pracleak {
 
 // ------------------------------------------------------------ ProbeAgent
@@ -12,10 +14,11 @@ ProbeAgent::ProbeAgent(Addr probe_addr, bool record_all)
 Cycle
 ProbeAgent::spikeThreshold()
 {
-    // An RFMab blocks the channel for 350 ns; a probe read that would
-    // normally finish in well under 100 ns reports 400+ ns when one is
-    // in flight.  300 ns cleanly separates the two populations.
-    return nsToCycles(300);
+    // One audited surface for "what can a probe see": the visible-bus
+    // model owns the single-RFM latency discriminator (an RFMab
+    // blocks the channel for 350 ns; a normal probe read finishes
+    // well under 100 ns).
+    return VisibleBusModel::probeSpikeThreshold();
 }
 
 void

@@ -5,6 +5,7 @@
 
 #include "attack/agents.h"
 #include "attack/harness.h"
+#include "attack/visible_bus.h"
 #include "common/log.h"
 #include "tprac/analysis.h"
 
@@ -328,7 +329,7 @@ runCountCovert(const CovertParams &params,
 
     HammerAgent sender(mapper, shared, tx_decoys);
     const Cycle spike_threshold =
-        spec.timing.tRFMab * spec.prac.nmit - nsToCycles(100);
+        VisibleBusModel::fromSpec(spec).rfmSpikeThreshold();
     CountReceiver receiver(mapper, shared_rx, rx_decoy, spike_threshold);
 
     harness.add(&sender);

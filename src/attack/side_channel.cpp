@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "attack/harness.h"
+#include "attack/visible_bus.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "tprac/analysis.h"
@@ -281,7 +282,7 @@ runAesSideChannel(const SideChannelParams &params)
     const Cycle threshold =
         params.spikeThresholdNs > 0.0
             ? nsToCycles(params.spikeThresholdNs)
-            : spec.timing.tRFMab * spec.prac.nmit - nsToCycles(100);
+            : VisibleBusModel::fromSpec(spec).rfmSpikeThreshold();
     SideProber prober(mapper, threshold, params.recordTimeline);
 
     harness.add(&victim);

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The attacker's view of the command bus, as one audited surface.
+ *
+ * The paper's leakage taxonomy sorts every maintenance mechanism by
+ * *where its latency lands*: RFMab and REFab block the whole channel
+ * (any probe sees them), RFMpb blocks one bank (only a same-bank
+ * probe sees it), and PARA-style in-DRAM neighbor refreshes ride
+ * inside normal timing (no probe sees them).  The probes, the bus
+ * observer (telemetry/timeseries.h), and the offline analyzer
+ * (sim/analyze_support.h) must all agree on this taxonomy and on the
+ * latency thresholds that separate "RFM in flight" from scheduler
+ * noise; before this header each of them re-derived the numbers
+ * ad hoc.  See src/attack/DESIGN.md for the taxonomy rationale.
+ */
+
+#ifndef PRACLEAK_ATTACK_VISIBLE_BUS_H
+#define PRACLEAK_ATTACK_VISIBLE_BUS_H
+
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/dram_spec.h"
+
+namespace pracleak {
+
+/** Where a bus/maintenance event's latency is observable from. */
+enum class BusVisibility : std::uint8_t
+{
+    ChannelWide, //!< any probe on the channel sees the stall
+    SameBank,    //!< only a probe in the blocked bank sees it
+    InDram,      //!< absorbed inside device timing; no probe sees it
+};
+
+/** Human-readable visibility name ("channel" / "bank" / "in-dram"). */
+const char *busVisibilityName(BusVisibility visibility);
+
+/**
+ * Timing-derived facts about what an attacker can observe on one
+ * channel.  Value type, cheap to construct from a spec.
+ */
+class VisibleBusModel
+{
+  public:
+    static VisibleBusModel fromSpec(const DramSpec &spec);
+
+    /** Visibility class of a command's blocking time. */
+    static BusVisibility commandVisibility(CmdType type);
+
+    /** Bus-blocking duration of @p type (0 for ACT/PRE/RD/WR). */
+    Cycle blockingCycles(CmdType type) const;
+
+    /** Total channel stall of one ABO Alert service (Nmit RFMabs). */
+    Cycle alertServiceCycles() const
+    {
+        return tRfmAb_ * nmit_;
+    }
+
+    /**
+     * Latency threshold separating an Alert-service stall from
+     * scheduler noise: just under the full Nmit-RFMab drain, so a
+     * probe that was parked behind the service trips it while
+     * queueing jitter does not.  (The AES side-channel prober's
+     * historical `tRFMab * Nmit - 100 ns` expression.)
+     */
+    Cycle rfmSpikeThreshold() const
+    {
+        return alertServiceCycles() - nsToCycles(100);
+    }
+
+    /**
+     * Latency threshold separating a *single* RFM-blocked probe read
+     * from a normal one: an RFMab blocks the channel for 350 ns, a
+     * normal probe read finishes well under 100 ns, and one caught
+     * behind an RFM reports 400+ ns -- 300 ns cleanly separates the
+     * populations (ProbeAgent's historical constant).
+     */
+    static Cycle probeSpikeThreshold()
+    {
+        return nsToCycles(300);
+    }
+
+  private:
+    Cycle tRfmAb_ = 0;
+    Cycle tRfmPb_ = 0;
+    Cycle tRfc_ = 0;
+    std::uint32_t nmit_ = 1;
+};
+
+} // namespace pracleak
+
+#endif // PRACLEAK_ATTACK_VISIBLE_BUS_H

@@ -66,6 +66,9 @@ Histogram::toJson() const
     field("sum", sum_);
     field("min", min());
     field("max", max());
+    field("p50", percentile(50.0));
+    field("p95", percentile(95.0));
+    field("p99", percentile(99.0));
     out += ", \"overflow\": " + std::to_string(overflow_);
     out += ", \"buckets\": [";
     for (std::size_t i = 0; i < used; ++i) {

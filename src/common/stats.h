@@ -48,9 +48,12 @@ class Histogram
 
     /**
      * JSON rendering for sweep rows and journal records:
-     * {bucket_width, count, sum, min, max, overflow, buckets}.
-     * Trailing empty buckets are trimmed so rows stay compact; the
-     * result round-trips through the strict sim::parseJson.
+     * {bucket_width, count, sum, min, max, p50, p95, p99, overflow,
+     * buckets}.  The percentiles are the bucket-approximated
+     * percentile() values, precomputed so result consumers need not
+     * re-derive them from the bucket array.  Trailing empty buckets
+     * are trimmed so rows stay compact; the result round-trips
+     * through the strict sim::parseJson.
      */
     std::string toJson() const;
 

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "mitigation/registry.h"
+#include "telemetry/timeseries.h"
 
 namespace pracleak {
 
@@ -60,6 +61,13 @@ MemoryController::MemoryController(const DramSpec &spec,
     if (stats_)
         queueOccupancy_ = &stats_->histogram(
             "mem.queue_occupancy", 1.0, config_.queueCapacity + 1);
+
+    // Single attach choke point for the `--series-out` surfaces:
+    // when a SeriesCapture is armed, every controller -- System,
+    // AttackHarness, trace replay, tests -- gets its channel's bus
+    // observer here, keyed by channelIndex.  Null when disarmed.
+    bus_ = telemetry::SeriesCapture::attach(
+        spec_, config_.channelIndex, defense);
 }
 
 bool
@@ -78,6 +86,8 @@ MemoryController::enqueue(Request request)
                                                         : "mem.writes");
     if (queueOccupancy_)
         queueOccupancy_->sample(static_cast<double>(queue_.size()));
+    if (bus_)
+        bus_->onQueueDepth(queue_.size(), now_);
     return true;
 }
 
@@ -154,6 +164,8 @@ MemoryController::issueIfReady(const Command &cmd)
     if (!dram_.canIssue(cmd, now_))
         return false;
     dram_.issue(cmd, now_);
+    if (bus_)
+        bus_->onCommand(cmd, now_);
     return true;
 }
 
@@ -171,6 +183,8 @@ MemoryController::issueOrTrack(const Command &cmd, Cycle &hint)
         return false;
     }
     dram_.issue(cmd, now_);
+    if (bus_)
+        bus_->onCommand(cmd, now_);
     return true;
 }
 
@@ -457,6 +471,25 @@ MemoryController::tick()
     if (!issued &&
         (!maint_.active || !maint_.isRfm || maint_.perBank))
         demand_issued = tickDemand();
+
+    if (bus_) {
+        // Delta-poll ABO assertions and defense mitigation events at
+        // end of tick: both mutate only inside tick() (via DRAM
+        // listeners and the mitigation hooks above), and the set of
+        // ticked cycles is identical between the lockstep and
+        // event-driven clocks, so the series cannot depend on the
+        // scheduling mode.
+        const std::uint64_t alerts = prac_->alerts();
+        if (alerts != busAboMark_) {
+            bus_->onAboAlert(alerts - busAboMark_, now_);
+            busAboMark_ = alerts;
+        }
+        const std::uint64_t events = mitigation_->eventsTriggered();
+        if (events != busMitMark_) {
+            bus_->onMitigationEvents(events - busMitMark_, now_);
+            busMitMark_ = events;
+        }
+    }
 
     ++now_;
     if (issued || demand_issued) {

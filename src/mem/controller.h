@@ -53,6 +53,10 @@
 
 namespace pracleak {
 
+namespace telemetry {
+class BusObserver;
+}
+
 /** Legacy top-level mitigation strategy selector. */
 enum class MitigationMode : std::uint8_t
 {
@@ -236,6 +240,18 @@ class MemoryController
     /** Install (or clear, with nullptr) the enqueue-boundary tap. */
     void setRequestTap(RequestTap *tap) { tap_ = tap; }
 
+    /**
+     * Install (or clear) the windowed bus-series observer
+     * (telemetry/timeseries.h).  The constructor already installs
+     * one automatically when a SeriesCapture is armed; this setter
+     * exists for experiments that record a series without the
+     * process-global capture.  Not owned.  Null costs one pointer
+     * test per hook site -- the same zero-cost-when-off idiom as
+     * TraceSession.
+     */
+    void setBusObserver(telemetry::BusObserver *bus) { bus_ = bus; }
+    telemetry::BusObserver *busObserver() const { return bus_; }
+
     /** Scheduler-efficiency telemetry since construction. */
     const SchedCounters &schedCounters() const { return sched_; }
 
@@ -296,6 +312,16 @@ class MemoryController
     ControllerConfig config_;
     StatSet *stats_;
     RequestTap *tap_ = nullptr;
+    telemetry::BusObserver *bus_ = nullptr;
+
+    /**
+     * Delta-poll marks for the end-of-tick bus-observer hooks: ABO
+     * assertions and defense mitigation events are counted by their
+     * owners; the observer sees per-tick deltas, which pins the
+     * series to cycles that tick in both clock modes.
+     */
+    std::uint64_t busAboMark_ = 0;
+    std::uint64_t busMitMark_ = 0;
 
     DramDevice dram_;
     AddressMapper mapper_;

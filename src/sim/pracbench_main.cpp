@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "sim/analyze_support.h"
 #include "sim/checkpoint.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
@@ -63,6 +64,12 @@ printUsage()
         "DIR/<name>.trc\n"
         "  replay FILE            replay a recorded trace against "
         "fresh defenses\n"
+        "  analyze SERIES...      offline leakage analysis over "
+        "--series-out files:\n"
+        "                         burst detection and ON/OFF "
+        "distinguishability of\n"
+        "                         the bus-visible mitigation "
+        "traffic, per defense\n"
         "  status DIR             live fleet status for a --steal "
         "checkpoint dir:\n"
         "                         points done/claimed/stale/"
@@ -119,6 +126,15 @@ printUsage()
         "                         (Perfetto-loadable: one lane per "
         "worker, a span\n"
         "                         per point; single scenario only)\n"
+        "  --series-out PATH      write the windowed command-bus "
+        "time series of\n"
+        "                         every simulation the sweep runs "
+        "(JSONL, or CSV\n"
+        "                         when PATH ends in .csv; single "
+        "scenario only);\n"
+        "                         with --trace-out, ACT/RFM counter "
+        "lanes are\n"
+        "                         merged into the trace\n"
         "  --log-level LEVEL      quiet|warn|info|debug or 0-9 "
         "(default: warn)\n"
         "\n"
@@ -134,10 +150,20 @@ printUsage()
         "\n"
         "record options: --workload NAME (repeatable), --set/--try-"
         "set, --quiet,\n"
-        "                --trace-out PATH\n"
+        "                --trace-out PATH, --series-out PATH\n"
         "replay options: --set mitigation=A,B, --verify, --out "
         "FILE.json,\n"
-        "                --no-table, --quiet, --trace-out PATH\n"
+        "                --no-table, --quiet, --trace-out PATH, "
+        "--series-out PATH\n"
+        "\n"
+        "analyze options:\n"
+        "  --defense-matrix       also print/emit the per-defense "
+        "worst-case\n"
+        "                         summary (the defense_matrix_"
+        "leakage verdicts)\n"
+        "  --out FILE.json        write verdicts (and summary) as "
+        "JSON\n"
+        "  --no-table             skip the text tables on stdout\n"
         "\n"
         "status options:\n"
         "  --scenario NAME        show only NAME (default: every "
@@ -421,6 +447,8 @@ parseCommonFlag(RunCli &cli, const std::vector<std::string> &args,
         cli.table = false;
     } else if (arg == "--trace-out") {
         cli.options.telemetry.traceOut = nextValue(args, i, arg);
+    } else if (arg == "--series-out") {
+        cli.options.telemetry.seriesOut = nextValue(args, i, arg);
     } else if (arg == "--log-level") {
         const std::string value = nextValue(args, i, arg);
         const int level = pracleak::parseLogLevel(value);
@@ -473,8 +501,8 @@ commandRun(const std::vector<std::string> &args)
         "--smoke",    "--quiet",      "--no-table",
         "--checkpoint", "--resume",   "--shard",
         "--steal",    "--worker-id",  "--claim-ttl",
-        "--heartbeat-seconds", "--trace-out", "--log-level",
-        "--help"};
+        "--heartbeat-seconds", "--trace-out", "--series-out",
+        "--log-level", "--help"};
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (parseCommonFlag(cli, args, i))
@@ -561,6 +589,12 @@ commandRun(const std::vector<std::string> &args)
     if (!single && !cli.options.telemetry.traceOut.empty()) {
         std::fprintf(stderr,
                      "pracbench: --trace-out records one sweep per "
+                     "file; run the scenarios separately\n");
+        return 2;
+    }
+    if (!single && !cli.options.telemetry.seriesOut.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --series-out records one sweep per "
                      "file; run the scenarios separately\n");
         return 2;
     }
@@ -713,8 +747,9 @@ commandRecord(const std::vector<std::string> &args)
     RunCli cli;
     std::vector<std::string> dirs;
     static const std::vector<std::string> known = {
-        "--workload", "--set",       "--try-set", "--smoke",
-        "--quiet",    "--trace-out", "--log-level", "--help"};
+        "--workload",  "--set",        "--try-set",
+        "--smoke",     "--quiet",      "--trace-out",
+        "--series-out", "--log-level", "--help"};
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--workload" || arg == "-w") {
@@ -752,6 +787,7 @@ commandRecord(const std::vector<std::string> &args)
     record.workloads = cli.workloads;
     record.progress = cli.options.progress;
     record.traceOut = cli.options.telemetry.traceOut;
+    record.seriesOut = cli.options.telemetry.seriesOut;
     // Soft overrides (--try-set, --smoke shrink) apply only where
     // record mode has such a knob; hard --set errors on unknown
     // keys inside the command.
@@ -775,7 +811,7 @@ commandReplay(const std::vector<std::string> &args)
     static const std::vector<std::string> known = {
         "--set",       "--try-set",  "--verify", "--out",
         "--no-table",  "--quiet",    "--trace-out",
-        "--log-level", "--help"};
+        "--series-out", "--log-level", "--help"};
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--verify") {
@@ -811,6 +847,7 @@ commandReplay(const std::vector<std::string> &args)
     replay.table = cli.table;
     replay.progress = cli.options.progress;
     replay.traceOut = cli.options.telemetry.traceOut;
+    replay.seriesOut = cli.options.telemetry.seriesOut;
     // Hard --set keeps its contract: anything replay cannot honour
     // is an error, not a silent no-op (the stream is fixed; only
     // the defense can vary).
@@ -844,6 +881,47 @@ commandReplay(const std::vector<std::string> &args)
     if (!prepareOutputDir(replay.outJson, ".json", /*single=*/true))
         return 2;
     return runReplayCommand(replay);
+}
+
+int
+commandAnalyze(const std::vector<std::string> &args)
+{
+    AnalyzeCliOptions options;
+    static const std::vector<std::string> known = {
+        "--defense-matrix", "--out", "--no-table", "--help"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--defense-matrix") {
+            options.defenseMatrix = true;
+        } else if (arg == "--out" || arg == "-o") {
+            options.outJson = nextValue(args, i, arg);
+        } else if (arg == "--no-table") {
+            options.table = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `analyze`", arg, known);
+        } else {
+            options.paths.push_back(arg);
+        }
+    }
+    if (options.paths.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: analyze needs at least one "
+                     "--series-out file\n");
+        return 2;
+    }
+    if (!options.outJson.empty() &&
+        !endsWith(options.outJson, ".json")) {
+        std::fprintf(stderr,
+                     "pracbench: analyze --out must be a .json "
+                     "file path\n");
+        return 2;
+    }
+    if (!prepareOutputDir(options.outJson, ".json", /*single=*/true))
+        return 2;
+    return runAnalyzeCommand(options);
 }
 
 int
@@ -987,9 +1065,11 @@ main(int argc, char **argv)
         return commandRecord(args);
     if (command == "replay")
         return commandReplay(args);
+    if (command == "analyze")
+        return commandAnalyze(args);
     if (command == "status")
         return commandStatus(args);
     rejectUnknown("command", command,
                   {"run", "list", "merge", "record", "replay",
-                   "status", "help"});
+                   "analyze", "status", "help"});
 }

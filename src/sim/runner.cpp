@@ -5,6 +5,7 @@
 #include "sim/provenance.h"
 #include "telemetry/heartbeat.h"
 #include "telemetry/stopwatch.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 #include <atomic>
@@ -210,13 +211,22 @@ runSweepLocal(const Scenario &scenario, const ParamGrid &grid,
                 spanArgs = JsonValue::object();
                 spanArgs.set("index", static_cast<std::int64_t>(i));
             }
+            // Labels series records this point's simulations create
+            // with the grid-point label (no-op when no series sink
+            // is armed).
+            telemetry::SeriesCapture::setLabel(params.label());
             telemetry::TraceSpan pointSpan(trace, params.label(),
                                            "point", lane,
                                            std::move(spanArgs));
             const telemetry::Stopwatch pointClock;
+            const std::uint64_t simStartUs =
+                trace ? trace->nowMicros() : 0;
             telemetry::TraceSpan simSpan(trace, "sim", "phase", lane);
             std::vector<ResultRow> rows = scenario.runPoint(params);
             simSpan.end();
+            if (trace)
+                telemetry::SeriesCapture::emitTraceCounters(
+                    trace, lane, simStartUs, trace->nowMicros());
             const double wall = pointClock.seconds();
             for (ResultRow &row : rows)
                 row = mergeParams(params, std::move(row));
@@ -354,15 +364,23 @@ runSweepStealing(const Scenario &scenario, const ParamGrid &grid,
                         spanArgs = JsonValue::object();
                         spanArgs.set("index", idx);
                     }
+                    telemetry::SeriesCapture::setLabel(
+                        params.label());
                     telemetry::TraceSpan pointSpan(
                         trace, params.label(), "point", lane,
                         std::move(spanArgs));
                     const telemetry::Stopwatch pointClock;
+                    const std::uint64_t simStartUs =
+                        trace ? trace->nowMicros() : 0;
                     telemetry::TraceSpan simSpan(trace, "sim",
                                                  "phase", lane);
                     std::vector<ResultRow> rows =
                         scenario.runPoint(params);
                     simSpan.end();
+                    if (trace)
+                        telemetry::SeriesCapture::emitTraceCounters(
+                            trace, lane, simStartUs,
+                            trace->nowMicros());
                     const double wall = pointClock.seconds();
                     for (ResultRow &row : rows)
                         row = mergeParams(params, std::move(row));
@@ -482,6 +500,27 @@ SweepResult::toCsv() const
     return rowsToCsv(rows);
 }
 
+namespace {
+
+/** Arms the process-global series sink for one sweep; the
+ *  destructor disarms even when a scenario point throws. */
+struct SeriesCaptureScope
+{
+    explicit SeriesCaptureScope(bool enable) : enabled(enable)
+    {
+        if (enabled)
+            telemetry::SeriesCapture::arm();
+    }
+    ~SeriesCaptureScope()
+    {
+        if (enabled)
+            telemetry::SeriesCapture::disarm();
+    }
+    bool enabled;
+};
+
+} // namespace
+
 SweepResult
 runScenario(const Scenario &scenario, const RunOptions &options)
 {
@@ -491,10 +530,17 @@ runScenario(const Scenario &scenario, const RunOptions &options)
     if (!options.telemetry.traceOut.empty())
         trace = std::make_unique<telemetry::TraceSession>(
             options.telemetry.traceOut);
+    const SeriesCaptureScope series(
+        !options.telemetry.seriesOut.empty());
     SweepResult result =
         options.steal.enabled
             ? runSweepStealing(scenario, grid, options, trace.get())
             : runSweepLocal(scenario, grid, options, trace.get());
+    if (series.enabled &&
+        !telemetry::SeriesCapture::writeAll(
+            options.telemetry.seriesOut))
+        throw std::runtime_error("cannot write series to " +
+                                 options.telemetry.seriesOut);
     if (trace)
         trace->write();
     return result;

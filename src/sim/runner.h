@@ -106,6 +106,17 @@ struct RunOptions
         std::string traceOut;
 
         /**
+         * Write the windowed command-bus time series of every
+         * simulation the sweep runs here (telemetry/timeseries.h):
+         * one header / window-lines / summary block per grid-point
+         * simulation, JSONL unless the path ends in ".csv".  ""
+         * disables -- the controller hot path then pays exactly one
+         * null-pointer test.  The series observes the bus only;
+         * sweep JSON/CSV output is byte-identical with it on or off.
+         */
+        std::string seriesOut;
+
+        /**
          * Heartbeat-file write interval for work-stealing workers
          * (telemetry/heartbeat.h); heartbeats are always on in steal
          * mode since `pracbench status` depends on them.

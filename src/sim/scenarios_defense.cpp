@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -35,8 +36,10 @@
 #include "attack/agents.h"
 #include "attack/harness.h"
 #include "mitigation/registry.h"
+#include "sim/analyze_support.h"
 #include "sim/design.h"
 #include "sim/scenario_util.h"
+#include "telemetry/timeseries.h"
 #include "tprac/analysis.h"
 
 namespace pracleak::sim {
@@ -318,6 +321,177 @@ defenseMatrixLeakage()
     return scenario;
 }
 
+// --- leakage_timeline ----------------------------------------------
+
+Scenario
+leakageTimeline()
+{
+    Scenario scenario;
+    scenario.name = "leakage_timeline";
+    // Minutes-per-point sweep: checkpoint every finished point.
+    scenario.checkpointEvery = 1;
+    scenario.tags = {"defense", "attack", "telemetry"};
+    scenario.title = "Per-window bus time series of every registered "
+                     "mitigation over the ON/OFF hammer workload";
+    scenario.notes = "window rows list only windows with bus-visible "
+                     "maintenance; the verdict rows apply "
+                     "defense_matrix_leakage's correlation rule to "
+                     "the series alone (RFMab = channel-wide, "
+                     "victim-bank RFMpb = same-bank); add "
+                     "--series-out to export the full series for "
+                     "`pracbench analyze`";
+    scenario.grid.axis("mitigation", defenseAxis())
+        .constant("spec", "ddr5-8000b")
+        .constant("nbo", 256)
+        .constant("window_ms", 0.25)    //!< one ON (or OFF) phase
+        .constant("bursts", 8);
+
+    scenario.runPoint = [](const ParamSet &params) {
+        const std::string defense = params.getString("mitigation");
+        DramSpec spec = specByName(params.getString("spec"));
+        spec.prac.nbo =
+            static_cast<std::uint32_t>(params.getInt("nbo"));
+
+        ControllerConfig config;
+        config.prac.queue = QueueKind::Ideal; // UPRAC, as in fig03
+        config.refreshEnabled = false; // isolate mitigation events
+        configureDefense(config, defense, spec);
+
+        // Same experiment shape as runLeakExperiment, but recording
+        // the bus series instead of probe latencies, and with no
+        // memoized baseline: a shared quiet run executes under
+        // whichever grid point claims it first, which would make
+        // series attribution depend on --jobs scheduling.
+        AttackHarness harness(spec, config);
+        MemoryController &mem = harness.mem();
+
+        // Reuse the capture-attached observer when --series-out
+        // armed one (the harness constructor attached it); install a
+        // local observer otherwise, so the scenario's rows never
+        // depend on whether the series export is on.
+        telemetry::BusObserver *bus = mem.busObserver();
+        std::unique_ptr<telemetry::BusObserver> local;
+        if (!bus) {
+            local = std::make_unique<telemetry::BusObserver>(spec);
+            mem.setBusObserver(local.get());
+            bus = local.get();
+        }
+
+        const AddressMapper &mapper = mem.mapper();
+        const DramAddress target{0, 4, 2, 0x100, 0};
+        const std::uint32_t victim_bank = mapper.flatBank(target);
+        telemetry::SeriesCapture::setVictimBank(victim_bank);
+        std::vector<DramAddress> decoys;
+        for (std::uint32_t i = 0; i < 4; ++i)
+            decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
+        HammerAgent victim(mapper, target, decoys);
+        ProbeAgent near_probe(
+            mapper.compose(DramAddress{0, 4, 2, 3, 0}));
+        ProbeAgent far_probe(
+            mapper.compose(DramAddress{0, 0, 0, 3, 0}));
+        harness.add(&victim);
+        harness.add(&near_probe);
+        harness.add(&far_probe);
+
+        std::vector<std::pair<Cycle, Cycle>> on_windows;
+        const Cycle phase =
+            nsToCycles(params.getDouble("window_ms") * 1.0e6);
+        const int bursts = static_cast<int>(params.getInt("bursts"));
+        for (int burst = 0; burst < bursts; ++burst) {
+            const Cycle on_end = harness.now() + phase;
+            on_windows.emplace_back(harness.now(), on_end);
+            telemetry::SeriesCapture::markOnWindow(harness.now(),
+                                                   on_end);
+            while (harness.now() < on_end) {
+                if (victim.done())
+                    victim.startHammer(spec.prac.nbo +
+                                       spec.prac.aboAct + 4);
+                harness.step();
+            }
+            victim.stop();
+            const Cycle off_end = harness.now() + phase;
+            while (harness.now() < off_end)
+                harness.step();
+        }
+
+        // Hand the recorded series to the analyzer core -- the same
+        // code path `pracbench analyze` runs over exported files.
+        SeriesSim sim;
+        sim.label = params.label();
+        sim.mitigation = defense;
+        sim.windowCycles = bus->windowCycles();
+        sim.victimBank = victim_bank;
+        sim.onWindows = on_windows;
+        for (const telemetry::SeriesWindow &w : bus->windows()) {
+            SeriesSim::Window window;
+            window.index = w.index;
+            window.act = w.act;
+            window.ref = w.ref;
+            window.rfmAb = w.rfmAb;
+            window.rfmPb = w.rfmPb;
+            window.abo = w.abo;
+            window.blocked = w.blocked;
+            window.rfmPbBanks = w.rfmPbBanks;
+            sim.windows.push_back(std::move(window));
+        }
+        const LeakVerdict verdict = analyzeSeries(sim);
+
+        const auto window_on = [&](std::uint64_t index) {
+            const Cycle mid = index * sim.windowCycles +
+                              sim.windowCycles / 2;
+            return inOnWindow(on_windows, mid);
+        };
+
+        std::vector<ResultRow> rows;
+        for (const SeriesSim::Window &w : sim.windows) {
+            if (w.rfmAb + w.rfmPb + w.abo + w.ref == 0)
+                continue;
+            ResultRow row = JsonValue::object();
+            row.set("kind", "window");
+            row.set("w", w.index);
+            row.set("on", window_on(w.index));
+            row.set("act", w.act);
+            row.set("rfm_ab", w.rfmAb);
+            row.set("rfm_pb", w.rfmPb);
+            row.set("abo", w.abo);
+            row.set("blocked", static_cast<std::uint64_t>(w.blocked));
+            rows.push_back(std::move(row));
+        }
+
+        ResultRow row = JsonValue::object();
+        row.set("kind", "verdict");
+        row.set("windows", verdict.windows);
+        row.set("bursts", verdict.bursts);
+        row.set("ch_on", verdict.channel.on);
+        row.set("ch_off", verdict.channel.off);
+        row.set("bank_on", verdict.sameBank.on);
+        row.set("bank_off", verdict.sameBank.off);
+        row.set("leaked", verdict.leaked());
+        row.set("observable_to", verdict.observableTo());
+        rows.push_back(std::move(row));
+
+        if (local)
+            mem.setBusObserver(nullptr);
+        return rows;
+    };
+
+    scenario.summarize = [](const std::vector<ResultRow> &rows) {
+        std::vector<ResultRow> out;
+        for (const ResultRow &row : rows) {
+            const JsonValue *kind = row.get("kind");
+            if (!kind || kind->asString() != "verdict")
+                continue;
+            ResultRow summary = JsonValue::object();
+            summary.set("mitigation", *row.get("mitigation"));
+            summary.set("leaked", *row.get("leaked"));
+            summary.set("observable_to", *row.get("observable_to"));
+            out.push_back(std::move(summary));
+        }
+        return out;
+    };
+    return scenario;
+}
+
 // --- defense_matrix_perf -------------------------------------------
 
 Scenario
@@ -589,6 +763,7 @@ registerDefenseScenarios(ScenarioRegistry &registry)
     registry.add(defenseMatrixLeakage());
     registry.add(defenseMatrixPerf());
     registry.add(defenseMatrixSecurity());
+    registry.add(leakageTimeline());
 }
 
 } // namespace pracleak::sim

@@ -10,10 +10,46 @@
 #include "sim/provenance.h"
 #include "sim/runner.h"
 #include "telemetry/stopwatch.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 #include "trace/recorder.h"
 
 namespace pracleak::sim {
+
+namespace {
+
+/** Arms the series sink when @p path is non-empty; disarms on every
+ *  exit path so a thrown replay cannot leave the sink dangling. */
+struct SeriesScope
+{
+    explicit SeriesScope(std::string path) : path_(std::move(path))
+    {
+        if (!path_.empty())
+            telemetry::SeriesCapture::arm();
+    }
+    ~SeriesScope()
+    {
+        if (!path_.empty())
+            telemetry::SeriesCapture::disarm();
+    }
+
+    /** writeAll to the scope's path; true when disabled. */
+    bool
+    write() const
+    {
+        if (path_.empty())
+            return true;
+        if (!telemetry::SeriesCapture::writeAll(path_))
+            return false;
+        std::fprintf(stderr, "pracbench: wrote %s\n", path_.c_str());
+        return true;
+    }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
 
 RecordedRun
 recordSuiteRun(const SuiteEntry &entry, const DesignConfig &design,
@@ -148,9 +184,11 @@ runRecordTraceCommand(const RecordCliOptions &options)
         if (!options.traceOut.empty())
             session = std::make_unique<telemetry::TraceSession>(
                 options.traceOut);
+        const SeriesScope series(options.seriesOut);
 
         for (const std::string &workload : workloads) {
             const SuiteEntry &entry = findSuiteEntry(workload);
+            telemetry::SeriesCapture::setLabel(workload);
             telemetry::TraceSpan span(session.get(), workload,
                                       "record", -1);
             const RecordedRun recorded =
@@ -181,6 +219,8 @@ runRecordTraceCommand(const RecordCliOptions &options)
                     hashHex(fnv1a64(image)).c_str());
             }
         }
+        if (!series.write())
+            return 1;
         if (session)
             session->write();
         return 0;
@@ -227,12 +267,15 @@ runReplayCommand(const ReplayCliOptions &options)
         if (!options.traceOut.empty())
             session = std::make_unique<telemetry::TraceSession>(
                 options.traceOut);
+        const SeriesScope series(options.seriesOut);
 
         bool verified = true;
         const telemetry::Stopwatch clock;
         for (const std::string &defense : defenses) {
             trace::ReplayOptions replay_options;
             replay_options.mitigation = defense;
+            telemetry::SeriesCapture::setLabel(
+                trace.header.workload + "/" + defense);
             telemetry::TraceSpan span(session.get(), defense,
                                       "replay", -1);
             const trace::ReplayResult replay =
@@ -252,6 +295,8 @@ runReplayCommand(const ReplayCliOptions &options)
                              defense.c_str());
         }
         result.wallSeconds = clock.seconds();
+        if (!series.write())
+            return 1;
         if (session)
             session->write();
 

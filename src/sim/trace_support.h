@@ -59,6 +59,10 @@ struct RecordCliOptions
 
     /** Chrome trace-event JSON of the recording; "" disables. */
     std::string traceOut;
+
+    /** Windowed bus time series of the recording runs, one record
+     *  per workload (telemetry/timeseries.h); "" disables. */
+    std::string seriesOut;
 };
 
 /** Record traces per workload into dir/<workload>.trc; 0 on success. */
@@ -85,6 +89,10 @@ struct ReplayCliOptions
 
     /** Chrome trace-event JSON of the replays; "" disables. */
     std::string traceOut;
+
+    /** Windowed bus time series of the replays, one record per
+     *  defense (telemetry/timeseries.h); "" disables. */
+    std::string seriesOut;
 };
 
 /** Replay a trace across defenses; 0 on success. */

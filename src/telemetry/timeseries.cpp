@@ -1,0 +1,516 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "sim/json.h"
+#include "telemetry/io.h"
+#include "telemetry/trace.h"
+
+namespace pracleak::telemetry {
+
+// ------------------------------------------------------- BusObserver
+
+BusObserver::BusObserver(const DramSpec &spec, Cycle window_cycles)
+    : org_(spec.org),
+      windowCycles_(window_cycles ? window_cycles
+                                  : spec.timing.tREFI),
+      tRfmAb_(spec.timing.tRFMab), tRfmPb_(spec.timing.tRFMpb),
+      tRfc_(spec.timing.tRFC),
+      occupancy_(1.0, 65), rfmPerWindow_(1.0, 64)
+{
+}
+
+SeriesWindow &
+BusObserver::windowAt(std::uint64_t index)
+{
+    // The clock is monotonic, so the target is the last window or a
+    // fresh append; only blocking spans reach forward, and every
+    // window they touch is materialized in order, so an earlier
+    // index always finds an existing entry.
+    if (windows_.empty() || windows_.back().index < index) {
+        windows_.emplace_back();
+        windows_.back().index = index;
+        return windows_.back();
+    }
+    if (windows_.back().index == index)
+        return windows_.back();
+    const auto it = std::lower_bound(
+        windows_.begin(), windows_.end(), index,
+        [](const SeriesWindow &w, std::uint64_t i) {
+            return w.index < i;
+        });
+    if (it != windows_.end() && it->index == index)
+        return *it;
+    SeriesWindow fresh;
+    fresh.index = index;
+    return *windows_.insert(it, std::move(fresh));
+}
+
+void
+BusObserver::addBlocked(Cycle start, Cycle duration)
+{
+    // Spread a blocking span exactly across every window it
+    // overlaps: boundaries are exact, empty windows between events
+    // stay implicit (the span itself materializes the ones it
+    // covers, which are not empty -- they are blocked).
+    const Cycle end = start + duration;
+    Cycle at = start;
+    while (at < end) {
+        const std::uint64_t w = at / windowCycles_;
+        const Cycle window_end = (w + 1) * windowCycles_;
+        const Cycle upto = std::min(end, window_end);
+        windowAt(w).blocked += upto - at;
+        at = upto;
+    }
+}
+
+void
+BusObserver::onCommand(const Command &cmd, Cycle now)
+{
+    SeriesWindow &w = windowAt(now / windowCycles_);
+    switch (cmd.type) {
+      case CmdType::ACT:
+        ++w.act;
+        break;
+      case CmdType::PRE:
+        ++w.pre;
+        break;
+      case CmdType::RD:
+        ++w.rd;
+        break;
+      case CmdType::WR:
+        ++w.wr;
+        break;
+      case CmdType::REFab:
+        ++w.ref;
+        addBlocked(now, tRfc_);
+        break;
+      case CmdType::RFMab:
+        ++w.rfmAb;
+        addBlocked(now, tRfmAb_);
+        break;
+      case CmdType::RFMpb: {
+        ++w.rfmPb;
+        const std::uint32_t flat = org_.flatBank(
+            cmd.rank,
+            cmd.bankGroup * org_.banksPerGroup + cmd.bank);
+        // addBlocked may reallocate windows_; take the bank count
+        // through a fresh lookup to keep the reference valid.
+        ++windowAt(now / windowCycles_).rfmPbBanks[flat];
+        addBlocked(now, tRfmPb_);
+        break;
+      }
+    }
+}
+
+void
+BusObserver::onAboAlert(std::uint64_t delta, Cycle now)
+{
+    windowAt(now / windowCycles_).abo += delta;
+}
+
+void
+BusObserver::onMitigationEvents(std::uint64_t delta, Cycle now)
+{
+    windowAt(now / windowCycles_).mitEvents += delta;
+}
+
+void
+BusObserver::onQueueDepth(std::size_t depth, Cycle now)
+{
+    SeriesWindow &w = windowAt(now / windowCycles_);
+    ++w.qSamples;
+    w.qSum += depth;
+    w.qMax = std::max<std::uint64_t>(w.qMax, depth);
+    occupancy_.sample(static_cast<double>(depth));
+}
+
+void
+BusObserver::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    for (const SeriesWindow &w : windows_)
+        rfmPerWindow_.sample(static_cast<double>(w.rfmAb + w.rfmPb));
+}
+
+// ----------------------------------------------------- SeriesCapture
+
+namespace {
+
+struct CaptureState
+{
+    std::mutex mutex;
+    bool armed = false;
+    Cycle windowCycles = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t nextSeq = 0;
+    std::vector<std::unique_ptr<SeriesCapture::SimRecord>> records;
+};
+
+CaptureState &
+state()
+{
+    static CaptureState instance;
+    return instance;
+}
+
+// Thread-local view: the record channel-0 attaches started on this
+// thread, plus the records created since the last setLabel() (for
+// trace-counter emission).  Guarded by a generation stamp so a
+// disarm/re-arm cycle cannot leave dangling pointers behind.
+thread_local std::string tlLabel;
+thread_local std::uint64_t tlGeneration = 0;
+thread_local SeriesCapture::SimRecord *tlCurrent = nullptr;
+thread_local std::vector<SeriesCapture::SimRecord *> tlPointRecords;
+
+/** Must be called with the state mutex held. */
+void
+refreshThreadView(CaptureState &st)
+{
+    if (tlGeneration != st.generation) {
+        tlGeneration = st.generation;
+        tlCurrent = nullptr;
+        tlPointRecords.clear();
+    }
+}
+
+sim::JsonValue
+histogramJson(const Histogram &histogram)
+{
+    return sim::parseJson(histogram.toJson());
+}
+
+void
+setNonZero(sim::JsonValue &row, const char *key, std::uint64_t value)
+{
+    if (value)
+        row.set(key, value);
+}
+
+std::string
+renderRecordJsonl(const SeriesCapture::SimRecord &record)
+{
+    std::string out;
+
+    sim::JsonValue header = sim::JsonValue::object();
+    header.set("kind", "header");
+    header.set("version", 1);
+    header.set("label", record.meta.label);
+    header.set("mitigation", record.meta.mitigation);
+    header.set("window_cycles", record.meta.windowCycles);
+    header.set("channels",
+               static_cast<std::uint64_t>(record.channels.size()));
+    if (record.meta.victimBank >= 0)
+        header.set("victim_bank", record.meta.victimBank);
+    if (!record.meta.onWindows.empty()) {
+        sim::JsonValue ranges = sim::JsonValue::array();
+        for (const auto &[begin, end] : record.meta.onWindows) {
+            sim::JsonValue range = sim::JsonValue::array();
+            range.push(begin);
+            range.push(end);
+            ranges.push(std::move(range));
+        }
+        header.set("on_windows", std::move(ranges));
+    }
+    out += header.dumpRoundTrip() + "\n";
+
+    sim::JsonValue summary = sim::JsonValue::object();
+    summary.set("kind", "summary");
+    std::uint64_t windows = 0, acts = 0, rfm_ab = 0, rfm_pb = 0,
+                  abo = 0;
+    for (std::size_t ch = 0; ch < record.channels.size(); ++ch) {
+        BusObserver &bus = *record.channels[ch];
+        bus.finalize();
+        for (const SeriesWindow &w : bus.windows()) {
+            sim::JsonValue row = sim::JsonValue::object();
+            row.set("kind", "window");
+            row.set("ch", static_cast<std::uint64_t>(ch));
+            row.set("w", w.index);
+            setNonZero(row, "act", w.act);
+            setNonZero(row, "pre", w.pre);
+            setNonZero(row, "rd", w.rd);
+            setNonZero(row, "wr", w.wr);
+            setNonZero(row, "ref", w.ref);
+            setNonZero(row, "rfm_ab", w.rfmAb);
+            setNonZero(row, "rfm_pb", w.rfmPb);
+            if (!w.rfmPbBanks.empty()) {
+                sim::JsonValue banks = sim::JsonValue::object();
+                for (const auto &[bank, count] : w.rfmPbBanks)
+                    banks.set(std::to_string(bank), count);
+                row.set("rfm_pb_banks", std::move(banks));
+            }
+            setNonZero(row, "abo", w.abo);
+            setNonZero(row, "mit_events", w.mitEvents);
+            setNonZero(row, "blocked", w.blocked);
+            if (w.qSamples) {
+                row.set("q_n", w.qSamples);
+                row.set("q_sum", w.qSum);
+                row.set("q_max", w.qMax);
+            }
+            out += row.dumpRoundTrip() + "\n";
+            ++windows;
+            acts += w.act;
+            rfm_ab += w.rfmAb;
+            rfm_pb += w.rfmPb;
+            abo += w.abo;
+        }
+    }
+    summary.set("windows", windows);
+    summary.set("act", acts);
+    summary.set("rfm_ab", rfm_ab);
+    summary.set("rfm_pb", rfm_pb);
+    summary.set("abo", abo);
+    if (!record.channels.empty()) {
+        summary.set("queue_occupancy",
+                    histogramJson(
+                        record.channels[0]->queueOccupancy()));
+        summary.set("rfm_per_window",
+                    histogramJson(
+                        record.channels[0]->rfmPerWindow()));
+    }
+    out += summary.dumpRoundTrip() + "\n";
+    return out;
+}
+
+std::string
+renderRecordCsv(const SeriesCapture::SimRecord &record)
+{
+    std::string label = "\"";
+    for (const char c : record.meta.label) {
+        if (c == '"')
+            label += '"';
+        label += c;
+    }
+    label += '"';
+
+    std::string out;
+    for (std::size_t ch = 0; ch < record.channels.size(); ++ch) {
+        for (const SeriesWindow &w : record.channels[ch]->windows()) {
+            out += label + "," +
+                   record.meta.mitigation + "," +
+                   std::to_string(ch) + "," +
+                   std::to_string(w.index) + "," +
+                   std::to_string(w.act) + "," +
+                   std::to_string(w.pre) + "," +
+                   std::to_string(w.rd) + "," +
+                   std::to_string(w.wr) + "," +
+                   std::to_string(w.ref) + "," +
+                   std::to_string(w.rfmAb) + "," +
+                   std::to_string(w.rfmPb) + "," +
+                   std::to_string(w.abo) + "," +
+                   std::to_string(w.mitEvents) + "," +
+                   std::to_string(w.blocked) + "," +
+                   std::to_string(w.qMax) + "\n";
+        }
+    }
+    return out;
+}
+
+/** Records sorted by (label, arrival): byte-stable across --jobs. */
+std::vector<const SeriesCapture::SimRecord *>
+sortedRecords(CaptureState &st)
+{
+    std::vector<const SeriesCapture::SimRecord *> sorted;
+    sorted.reserve(st.records.size());
+    for (const auto &record : st.records)
+        sorted.push_back(record.get());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SeriesCapture::SimRecord *a,
+                 const SeriesCapture::SimRecord *b) {
+                  if (a->meta.label != b->meta.label)
+                      return a->meta.label < b->meta.label;
+                  return a->seq < b->seq;
+              });
+    return sorted;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+void
+SeriesCapture::arm(Cycle window_cycles)
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    st.armed = true;
+    st.windowCycles = window_cycles;
+    st.records.clear();
+    st.nextSeq = 0;
+    ++st.generation;
+}
+
+void
+SeriesCapture::disarm()
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    st.armed = false;
+    st.records.clear();
+    ++st.generation;
+}
+
+bool
+SeriesCapture::armed()
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    return st.armed;
+}
+
+BusObserver *
+SeriesCapture::attach(const DramSpec &spec,
+                      std::uint32_t channel_index,
+                      const std::string &mitigation)
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.armed)
+        return nullptr;
+    refreshThreadView(st);
+
+    if (channel_index == 0) {
+        auto record = std::make_unique<SimRecord>();
+        record->meta.label = tlLabel;
+        record->meta.mitigation = mitigation;
+        record->seq = st.nextSeq++;
+        record->channels.push_back(
+            std::make_unique<BusObserver>(spec, st.windowCycles));
+        record->meta.windowCycles =
+            record->channels.back()->windowCycles();
+        BusObserver *bus = record->channels.back().get();
+        tlCurrent = record.get();
+        tlPointRecords.push_back(record.get());
+        st.records.push_back(std::move(record));
+        return bus;
+    }
+    // A non-zero channel joins the simulation the calling thread's
+    // last channel-0 construction started.  Controllers are built in
+    // channel order on one thread (System, AttackHarness, replay).
+    if (!tlCurrent)
+        return nullptr;
+    tlCurrent->channels.push_back(
+        std::make_unique<BusObserver>(spec, st.windowCycles));
+    return tlCurrent->channels.back().get();
+}
+
+void
+SeriesCapture::setLabel(const std::string &label)
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    refreshThreadView(st);
+    tlLabel = label;
+    tlCurrent = nullptr;
+    tlPointRecords.clear();
+}
+
+void
+SeriesCapture::markOnWindow(Cycle begin, Cycle end)
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.armed)
+        return;
+    refreshThreadView(st);
+    if (tlCurrent)
+        tlCurrent->meta.onWindows.emplace_back(begin, end);
+}
+
+void
+SeriesCapture::setVictimBank(std::uint32_t flat_bank)
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    if (!st.armed)
+        return;
+    refreshThreadView(st);
+    if (tlCurrent)
+        tlCurrent->meta.victimBank = flat_bank;
+}
+
+std::string
+SeriesCapture::renderAll(bool csv)
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    std::string out;
+    if (csv)
+        out += "label,mitigation,ch,w,act,pre,rd,wr,ref,rfm_ab,"
+               "rfm_pb,abo,mit_events,blocked,q_max\n";
+    for (const SimRecord *record : sortedRecords(st))
+        out += csv ? renderRecordCsv(*record)
+                   : renderRecordJsonl(*record);
+    return out;
+}
+
+bool
+SeriesCapture::writeAll(const std::string &path)
+{
+    return writeAtomic(path, renderAll(endsWith(path, ".csv")));
+}
+
+void
+SeriesCapture::emitTraceCounters(TraceSession *trace, int lane,
+                                 std::uint64_t start_us,
+                                 std::uint64_t end_us)
+{
+    if (!trace)
+        return;
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    refreshThreadView(st);
+    if (tlPointRecords.empty() || end_us <= start_us)
+        return;
+
+    for (const SimRecord *record : tlPointRecords) {
+        for (std::size_t ch = 0; ch < record->channels.size();
+             ++ch) {
+            const auto &windows = record->channels[ch]->windows();
+            if (windows.empty())
+                continue;
+            const std::uint64_t first = windows.front().index;
+            const std::uint64_t span =
+                windows.back().index - first + 1;
+            const std::uint64_t buckets =
+                std::min<std::uint64_t>(span, 200);
+            std::vector<std::uint64_t> acts(buckets, 0);
+            std::vector<std::uint64_t> rfms(buckets, 0);
+            for (const SeriesWindow &w : windows) {
+                const std::uint64_t b =
+                    (w.index - first) * buckets / span;
+                acts[b] += w.act;
+                rfms[b] += w.rfmAb + w.rfmPb;
+            }
+            const std::string name =
+                "bus-ch" + std::to_string(ch);
+            for (std::uint64_t b = 0; b < buckets; ++b) {
+                sim::JsonValue args = sim::JsonValue::object();
+                args.set("act", acts[b]);
+                args.set("rfm", rfms[b]);
+                const std::uint64_t ts =
+                    start_us + (end_us - start_us) * b / buckets;
+                trace->counter(name, lane, ts, std::move(args));
+            }
+        }
+    }
+}
+
+std::size_t
+SeriesCapture::recordCount()
+{
+    CaptureState &st = state();
+    const std::lock_guard<std::mutex> lock(st.mutex);
+    return st.records.size();
+}
+
+} // namespace pracleak::telemetry

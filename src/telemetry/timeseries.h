@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Windowed command-bus time series: the simulated memory system's
+ * *observable* signal over time, per channel.
+ *
+ * The paper's leakage argument is temporal -- an attacker learns when
+ * mitigation traffic (ABO alert service, proactive RFMs) hits the
+ * bus, not just how much of it there was -- so end-of-run scalar
+ * stats cannot express it.  A BusObserver slices the simulated clock
+ * into fixed windows (default one tREFI) and counts, per window,
+ * every bus-visible event the controller issues: ACT/PRE/RD/WR,
+ * REFab, RFMab, RFMpb (per target bank), plus ABO assertions,
+ * defense mitigation events, request-queue depth, and the cycles the
+ * window spent blocked behind maintenance.
+ *
+ * Zero-cost-when-off contract (same idiom as TraceSession): the
+ * controller holds a `BusObserver *` that is null unless a series
+ * sink is armed, and every hook site is guarded by one pointer test.
+ * All hooks fire from inside MemoryController::tick() -- the cycles
+ * that tick are identical between the lockstep and event-driven
+ * clocks, and a window is addressed purely by `cycle / width`, so
+ * the recorded series is bit-identical across scheduling modes.
+ * Windows in which nothing happened are never materialized (a cycle
+ * jump over dead time allocates nothing); the sparse storage keeps a
+ * multi-millisecond simulation's series small.
+ *
+ * SeriesCapture is the process-global sink the `--series-out` CLI
+ * surfaces arm: MemoryController's constructor is the single attach
+ * choke point, so every construction path (System, AttackHarness,
+ * trace replay, unit tests) is covered without per-harness plumbing.
+ */
+
+#ifndef PRACLEAK_TELEMETRY_TIMESERIES_H
+#define PRACLEAK_TELEMETRY_TIMESERIES_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/dram_spec.h"
+
+namespace pracleak::telemetry {
+
+class TraceSession;
+
+/** Per-window bus-visible event counts for one channel. */
+struct SeriesWindow
+{
+    std::uint64_t index = 0;    //!< absolute window = cycle / width
+
+    std::uint64_t act = 0;
+    std::uint64_t pre = 0;
+    std::uint64_t rd = 0;
+    std::uint64_t wr = 0;
+    std::uint64_t ref = 0;      //!< REFab commands
+    std::uint64_t rfmAb = 0;    //!< channel-wide RFMs
+    std::uint64_t rfmPb = 0;    //!< per-bank RFMs (all banks)
+    std::uint64_t abo = 0;      //!< ABO Alert assertions
+    std::uint64_t mitEvents = 0; //!< defense mitigation events
+
+    /** Cycles of this window spent under an RFM/REF blocking span. */
+    Cycle blocked = 0;
+
+    /** Queue-depth samples taken at enqueue time. */
+    std::uint64_t qSamples = 0;
+    std::uint64_t qSum = 0;
+    std::uint64_t qMax = 0;
+
+    /** RFMpb count by flat bank index (sparse; usually 0-2 banks). */
+    std::map<std::uint32_t, std::uint64_t> rfmPbBanks;
+};
+
+/**
+ * One channel's windowed bus recorder.  Hot hooks are O(1) amortized:
+ * the clock is monotonic, so the target window is almost always the
+ * last one (or a fresh append); only blocking spans reach forward
+ * into future windows.
+ */
+class BusObserver
+{
+  public:
+    /**
+     * @param window_cycles Window width; 0 selects one tREFI from
+     *                      @p spec (the natural bus-observation
+     *                      granularity: refresh-rate periodic).
+     */
+    explicit BusObserver(const DramSpec &spec, Cycle window_cycles = 0);
+
+    Cycle windowCycles() const { return windowCycles_; }
+
+    /** A command hit the bus at @p now (controller issue time). */
+    void onCommand(const Command &cmd, Cycle now);
+
+    /** @p delta new ABO Alert assertions observed at @p now. */
+    void onAboAlert(std::uint64_t delta, Cycle now);
+
+    /** @p delta new defense mitigation events at @p now. */
+    void onMitigationEvents(std::uint64_t delta, Cycle now);
+
+    /** Queue depth @p depth right after an accepted enqueue. */
+    void onQueueDepth(std::size_t depth, Cycle now);
+
+    /** Recorded windows, ascending by index; gaps are all-zero. */
+    const std::vector<SeriesWindow> &windows() const
+    {
+        return windows_;
+    }
+
+    /** Queue-depth samples across the whole run (summary export). */
+    const Histogram &queueOccupancy() const { return occupancy_; }
+
+    /** Per-window event-count histogram over bus-visible RFMs. */
+    const Histogram &rfmPerWindow() const { return rfmPerWindow_; }
+
+    /**
+     * Finalize derived summaries (the per-window RFM histogram) over
+     * the recorded windows.  Idempotent; called by the renderers.
+     */
+    void finalize();
+
+  private:
+    SeriesWindow &windowAt(std::uint64_t index);
+    void addBlocked(Cycle start, Cycle duration);
+
+    DramOrg org_;
+    Cycle windowCycles_;
+    Cycle tRfmAb_;
+    Cycle tRfmPb_;
+    Cycle tRfc_;
+    std::vector<SeriesWindow> windows_;
+    Histogram occupancy_;
+    Histogram rfmPerWindow_;
+    bool finalized_ = false;
+};
+
+/** Metadata carried in a series file header (one per simulation). */
+struct SeriesMeta
+{
+    std::string label;       //!< grid-point label / workload / defense
+    std::string mitigation;  //!< resolved defense registry key
+    Cycle windowCycles = 0;
+    std::uint32_t channels = 0;
+
+    /** Victim's flat bank, when the driving experiment knows it. */
+    std::int64_t victimBank = -1;
+
+    /** Ground-truth attacker-ON cycle ranges, when known. */
+    std::vector<std::pair<Cycle, Cycle>> onWindows;
+};
+
+/**
+ * Process-global series sink.  arm() installs it; from then on every
+ * MemoryController constructed attaches an observer: a channel-0
+ * construction starts a new simulation record on the calling thread
+ * and higher channels append to it, which groups one multi-channel
+ * System / harness / replay into one record without any caller
+ * plumbing.  The capture owns the observers (controllers may be
+ * destroyed long before the series is written) and renders them as
+ * compact JSONL (or CSV), ordered by (label, arrival) so the output
+ * is byte-identical across `--jobs` counts.
+ */
+class SeriesCapture
+{
+  public:
+    /** One simulation's record: metadata plus per-channel series. */
+    struct SimRecord
+    {
+        SeriesMeta meta;
+        std::vector<std::unique_ptr<BusObserver>> channels;
+        std::uint64_t seq = 0; //!< global arrival order (tie-break)
+    };
+
+    /** Install the sink.  @p window_cycles 0 = one tREFI per spec. */
+    static void arm(Cycle window_cycles = 0);
+
+    /** Uninstall and drop every record. */
+    static void disarm();
+
+    static bool armed();
+
+    /**
+     * Controller-constructor hook: attach an observer for channel
+     * @p channel_index of a simulation using @p spec under defense
+     * @p mitigation.  Returns null when no sink is armed.
+     */
+    static BusObserver *attach(const DramSpec &spec,
+                               std::uint32_t channel_index,
+                               const std::string &mitigation);
+
+    /** Label applied to records the calling thread creates next. */
+    static void setLabel(const std::string &label);
+
+    /** Annotate the thread's current record (no-ops when disarmed). */
+    static void markOnWindow(Cycle begin, Cycle end);
+    static void setVictimBank(std::uint32_t flat_bank);
+
+    /**
+     * Render every record and write it to @p path atomically.  A
+     * ".csv" extension selects the flat CSV rendering; anything else
+     * gets JSONL (one header, N window lines, and one summary line
+     * per simulation).  Returns false on I/O failure.
+     */
+    static bool writeAll(const std::string &path);
+
+    /** The rendering writeAll() would emit (tests, merging). */
+    static std::string renderAll(bool csv);
+
+    /**
+     * Merge Chrome-trace "C" counter events for the records the
+     * calling thread created since its last setLabel() into
+     * @p trace on @p lane: each record's windows are mapped linearly
+     * onto the wall-clock span [@p start_us, @p end_us] (the grid
+     * point's span), downsampled to at most ~200 samples, so
+     * Perfetto shows ACT/RFM rate aligned with the point spans.
+     */
+    static void emitTraceCounters(TraceSession *trace, int lane,
+                                  std::uint64_t start_us,
+                                  std::uint64_t end_us);
+
+    /** Records so far (tests). */
+    static std::size_t recordCount();
+};
+
+} // namespace pracleak::telemetry
+
+#endif // PRACLEAK_TELEMETRY_TIMESERIES_H

@@ -44,6 +44,15 @@ TraceSession::instant(const std::string &name,
 }
 
 void
+TraceSession::counter(const std::string &name, int lane,
+                      std::uint64_t ts_us, sim::JsonValue args)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(
+        Event{'C', name, "counter", lane, ts_us, 0, std::move(args)});
+}
+
+void
 TraceSession::nameLane(int lane, const std::string &name)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -106,7 +115,7 @@ TraceSession::write()
         out.set("ts", event.tsUs);
         if (event.phase == 'X')
             out.set("dur", event.durUs);
-        else
+        else if (event.phase == 'i')
             out.set("s", "t"); // thread-scoped instant
         out.set("pid", pid);
         out.set("tid", laneTid(event.lane));

@@ -62,6 +62,16 @@ class TraceSession
     void instant(const std::string &name, const std::string &category,
                  int lane, sim::JsonValue args = sim::JsonValue());
 
+    /**
+     * Record a counter ('C') event on @p lane at @p ts_us: each
+     * numeric member of @p args is one counter series, rendered by
+     * Perfetto as a stacked value track aligned with the lane's
+     * spans.  The bus time-series export (telemetry/timeseries.h)
+     * uses this to overlay ACT/RFM rate on the grid-point spans.
+     */
+    void counter(const std::string &name, int lane,
+                 std::uint64_t ts_us, sim::JsonValue args);
+
     /** Override the display name of @p lane (default: worker-N). */
     void nameLane(int lane, const std::string &name);
 

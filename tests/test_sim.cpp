@@ -202,7 +202,7 @@ TEST(ScenarioRegistry, BuiltinsCoverEveryFigureAndTable)
         "covert_channel_parallel", "fastforward_benchmark",
         "defense_matrix_leakage", "defense_matrix_perf",
         "defense_matrix_security", "trace_replay_defense_sweep",
-        "eventqueue_benchmark"};
+        "eventqueue_benchmark", "leakage_timeline"};
     EXPECT_EQ(registry.size(), std::size(names));
     for (const char *name : names)
         EXPECT_NE(registry.find(name), nullptr) << name;

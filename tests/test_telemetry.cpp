@@ -146,6 +146,14 @@ TEST(HistogramJson, RoundTripsThroughStrictParser)
     EXPECT_DOUBLE_EQ(parsed.get("sum")->asDouble(), 12.6);
     EXPECT_DOUBLE_EQ(parsed.get("min")->asDouble(), 0.5);
     EXPECT_DOUBLE_EQ(parsed.get("max")->asDouble(), 9.0);
+    // Percentiles are exported precomputed and must round-trip to
+    // exactly what percentile() reports: p50 lands mid-bucket-1,
+    // p95/p99 run past the buckets into max().
+    EXPECT_DOUBLE_EQ(parsed.get("p50")->asDouble(),
+                     histogram.percentile(50.0));
+    EXPECT_DOUBLE_EQ(parsed.get("p50")->asDouble(), 1.5);
+    EXPECT_DOUBLE_EQ(parsed.get("p95")->asDouble(), 9.0);
+    EXPECT_DOUBLE_EQ(parsed.get("p99")->asDouble(), 9.0);
     EXPECT_EQ(parsed.get("overflow")->asInt(), 1);
     const JsonValue &buckets = *parsed.get("buckets");
     ASSERT_EQ(buckets.items().size(), 2u); // trailing zeros trimmed
@@ -157,6 +165,7 @@ TEST(HistogramJson, RoundTripsThroughStrictParser)
     const JsonValue reparsed = parseJson(empty.toJson(), &error);
     ASSERT_TRUE(error.empty()) << error;
     EXPECT_EQ(reparsed.get("count")->asInt(), 0);
+    EXPECT_DOUBLE_EQ(reparsed.get("p99")->asDouble(), 0.0);
     EXPECT_EQ(reparsed.get("buckets")->items().size(), 0u);
 }
 
