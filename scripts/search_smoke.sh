@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Attacker-search smoke: the `pracbench search` determinism contract
+# end to end.  A reference search, a SIGKILLed-and-resumed search
+# (byte-identical output -- SearchResult JSON carries no wall-clock
+# provenance, so plain cmp), a second defense, and the registry CLI
+# surface: `pracbench list` names the attackers, `--set attacker=`
+# sub-keys reach a sweep, and typos die with a "did you mean" hint.
+#
+# Usage: scripts/search_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  where pracbench lives (default: build)
+#   OUT_DIR    results + checkpoint location (default: results/search_smoke)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results/search_smoke}"
+PRACBENCH="${BUILD_DIR}/pracbench"
+
+if [[ ! -x "${PRACBENCH}" ]]; then
+    echo "error: ${PRACBENCH} not found; build first" >&2
+    exit 1
+fi
+
+rm -rf "${OUT_DIR}"
+mkdir -p "${OUT_DIR}"
+
+SEARCH=(search defense_matrix_adaptive --target-defense graphene
+        --budget 4 --quiet)
+JOURNAL="${OUT_DIR}/ckpt/search.graphene.r1.jsonl"
+
+echo "==> reference (uninterrupted) search"
+"${PRACBENCH}" "${SEARCH[@]}" --out "${OUT_DIR}/reference.json"
+
+echo "==> checkpointed search, to be SIGKILLed mid-flight"
+"${PRACBENCH}" "${SEARCH[@]}" --checkpoint "${OUT_DIR}/ckpt" \
+    --out "${OUT_DIR}/resumed.json" &
+VICTIM=$!
+
+# Kill once the round-1 journal holds at least one completed
+# candidate (header + 1 record) while the search is still running.
+for _ in $(seq 1 600); do
+    if [[ -f "${JOURNAL}" ]] &&
+       [[ "$(wc -l < "${JOURNAL}")" -ge 2 ]]; then
+        break
+    fi
+    if ! kill -0 "${VICTIM}" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+
+records() { [[ -f "${JOURNAL}" ]] && wc -l < "${JOURNAL}" || echo 0; }
+
+if kill -KILL "${VICTIM}" 2>/dev/null; then
+    echo "==> SIGKILLed pid ${VICTIM} after $(records) journal records"
+else
+    echo "warning: search finished before the kill landed" >&2
+fi
+wait "${VICTIM}" 2>/dev/null || true
+
+if [[ "$(records)" -lt 1 ]]; then
+    echo "error: the checkpointed search never wrote its journal" >&2
+    exit 1
+fi
+if [[ -f "${OUT_DIR}/resumed.json" ]]; then
+    echo "warning: killed search had already emitted its JSON" >&2
+    rm -f "${OUT_DIR}/resumed.json"
+fi
+
+echo "==> resuming from $(records) journal records"
+"${PRACBENCH}" "${SEARCH[@]}" --checkpoint "${OUT_DIR}/ckpt" --resume \
+    --out "${OUT_DIR}/resumed.json"
+
+echo "==> resumed output must be byte-identical to the reference"
+cmp "${OUT_DIR}/reference.json" "${OUT_DIR}/resumed.json"
+
+echo "==> second defense: pb-rfm, wider jobs"
+"${PRACBENCH}" search defense_matrix_adaptive --target-defense pb-rfm \
+    --budget 3 --jobs 4 --quiet --out "${OUT_DIR}/pb-rfm.json"
+python3 - "${OUT_DIR}/pb-rfm.json" <<'EOF'
+import json, sys
+result = json.load(open(sys.argv[1]))
+best, obl = result["best"], result["oblivious"]
+assert best["max_counter"] >= obl["max_counter"], (best, obl)
+print(f"    best {best['attacker']} max_counter={best['max_counter']} "
+      f">= oblivious {obl['max_counter']}")
+EOF
+
+echo "==> pracbench list names the registered attackers"
+LIST="$("${PRACBENCH}" list)"
+for name in hammer feinting graphene-thrash para-retry pb-parallel; do
+    if ! grep -q "^${name} " <<<"${LIST}"; then
+        echo "error: 'pracbench list' does not name attacker ${name}" >&2
+        exit 1
+    fi
+done
+
+echo "==> attacker registry reaches a sweep via --set sub-keys"
+"${PRACBENCH}" run defense_matrix_security --smoke --quiet --no-table \
+    --set attack=para-retry --set attacker.aggressors=4
+
+echo "==> unknown attacker dies with exit 2 and a hint"
+set +e
+HINT="$("${PRACBENCH}" search defense_matrix_adaptive \
+    --target-defense graphene --attacker para-rety 2>&1)"
+STATUS=$?
+set -e
+if [[ "${STATUS}" -ne 2 ]] ||
+   ! grep -q "did you mean 'para-retry'" <<<"${HINT}"; then
+    echo "error: typo'd attacker did not produce the hint (exit" \
+         "${STATUS}): ${HINT}" >&2
+    exit 1
+fi
+
+echo "search smoke passed"

@@ -1,13 +1,63 @@
 #include "attack/agents.h"
 
+#include <algorithm>
+
 #include "attack/visible_bus.h"
+#include "tprac/analysis.h"
 
 namespace pracleak {
+
+namespace {
+
+/**
+ * The Feinting pool sized for the TB-RFM-safe cadence -- the exact
+ * derivation defense_matrix_security has always used, so a
+ * zero-poolSize AttackerConfig is stream-identical to the legacy
+ * hand-computed construction.
+ */
+std::uint32_t
+deriveFeintingPool(const MemoryController &mem)
+{
+    const DramSpec &spec = mem.dram().spec();
+    const FeintingParams fp = FeintingParams::fromSpec(spec);
+    const double cadence_ns =
+        std::max(maxSafeWindowNs(spec.prac.nbo, true, fp), fp.trcNs);
+    const std::uint64_t act_w =
+        std::max<std::uint64_t>(actsPerWindow(cadence_ns, fp), 1);
+    return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        maxActsPerTrefw(cadence_ns, fp) / act_w, 2048));
+}
+
+/** Decoy layout for the config-constructed HammerAgent. */
+std::vector<DramAddress>
+hammerDecoys(const DramOrg &org, const AttackerConfig &config)
+{
+    const std::uint32_t count =
+        config.poolSize == 0 ? 2 : config.poolSize;
+    const std::uint32_t stride =
+        config.burstSpacing == 0 ? 1000 : config.burstSpacing;
+    std::vector<DramAddress> decoys;
+    for (std::uint32_t i = 0; i < count; ++i)
+        decoys.push_back(attackerBankAddress(
+            org, config.targetBank, config.targetRow + stride + i));
+    return decoys;
+}
+
+} // namespace
 
 // ------------------------------------------------------------ ProbeAgent
 
 ProbeAgent::ProbeAgent(Addr probe_addr, bool record_all)
     : addr_(probe_addr), recordAll_(record_all)
+{
+}
+
+ProbeAgent::ProbeAgent(const MemoryController &mem,
+                       const AttackerConfig &config, bool record_all)
+    : ProbeAgent(mem.mapper().compose(attackerBankAddress(
+                     mem.dram().spec().org, config.targetBank,
+                     config.targetRow)),
+                 record_all)
 {
 }
 
@@ -67,6 +117,16 @@ HammerAgent::HammerAgent(const AddressMapper &mapper,
     decoyAddrs_.reserve(decoys.size());
     for (const auto &decoy : decoys)
         decoyAddrs_.push_back(mapper.compose(decoy));
+}
+
+HammerAgent::HammerAgent(const MemoryController &mem,
+                         const AttackerConfig &config)
+    : HammerAgent(mem.mapper(),
+                  attackerBankAddress(mem.dram().spec().org,
+                                      config.targetBank,
+                                      config.targetRow),
+                  hammerDecoys(mem.dram().spec().org, config))
+{
 }
 
 void
@@ -157,6 +217,15 @@ FeintingAgent::FeintingAgent(MemoryController &mem,
     for (std::uint32_t i = 0; i < pool_size; ++i)
         pool_.push_back(target_row + 1 + i);
     pool_.push_back(target_row);
+}
+
+FeintingAgent::FeintingAgent(MemoryController &mem,
+                             const AttackerConfig &config)
+    : FeintingAgent(mem,
+                    config.poolSize == 0 ? deriveFeintingPool(mem)
+                                         : config.poolSize,
+                    config.targetRow)
+{
 }
 
 std::uint32_t

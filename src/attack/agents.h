@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "attack/adversaries.h"
 #include "attack/harness.h"
 #include "common/types.h"
 #include "mem/address_mapper.h"
@@ -40,8 +41,19 @@ class ProbeAgent : public MemAgent
      *                   activation counters stay parked).
      * @param record_all Keep the full timeline (Fig. 3 needs it);
      *                   otherwise only recent samples are retained.
+     *
+     * Deprecated entry point: prefer the AttackerConfig overload (or
+     * attackerByName("probe", ...)), which names the probe placement
+     * instead of passing a pre-composed physical address.
      */
     explicit ProbeAgent(Addr probe_addr, bool record_all = true);
+
+    /**
+     * Registry-style construction: probe @p config.targetRow in flat
+     * bank @p config.targetBank of @p mem's address space.
+     */
+    ProbeAgent(const MemoryController &mem,
+               const AttackerConfig &config, bool record_all = true);
 
     void tick(MemoryController &mem, Cycle now) override;
 
@@ -87,9 +99,22 @@ class FeintingAgent : public MemAgent
      * @param mem        Controller whose PRAC counters steer pruning.
      * @param pool_size  Initial decoy-row count.
      * @param target_row Row being driven toward NBO (same bank 0).
+     *
+     * Deprecated entry point: prefer the AttackerConfig overload (or
+     * attackerByName("feinting", ...)), which derives the pool from
+     * the controller's spec when the knob is left at zero.
      */
     FeintingAgent(MemoryController &mem, std::uint32_t pool_size,
                   std::uint32_t target_row);
+
+    /**
+     * Registry-style construction: @p config.poolSize decoys around
+     * @p config.targetRow; poolSize 0 derives the TB-RFM-safe
+     * worst-case pool from @p mem's spec (the defense bake-off's
+     * sizing).  The wave stays pinned to bank 0 like the legacy
+     * constructor.
+     */
+    FeintingAgent(MemoryController &mem, const AttackerConfig &config);
 
     void tick(MemoryController &mem, Cycle now) override;
 
@@ -115,10 +140,23 @@ class HammerAgent : public MemAgent
      *                the decoys' own counters well below the target's.
      * @param max_outstanding Reads kept in flight (2 saturates the
      *                bank's tRC pipeline).
+     *
+     * Deprecated entry point: prefer the AttackerConfig overload (or
+     * attackerByName("hammer", ...)), which derives the decoy layout
+     * from named knobs instead of explicit address lists.
      */
     HammerAgent(const AddressMapper &mapper, const DramAddress &target,
                 std::vector<DramAddress> decoys,
                 std::uint32_t max_outstanding = 2);
+
+    /**
+     * Registry-style construction: hammer @p config.targetRow in flat
+     * bank @p config.targetBank, alternating with poolSize same-bank
+     * decoys (default 2) at rows targetRow + burstSpacing + i
+     * (burstSpacing doubles as the decoy-row stride; default 1000).
+     */
+    HammerAgent(const MemoryController &mem,
+                const AttackerConfig &config);
 
     void tick(MemoryController &mem, Cycle now) override;
 

@@ -62,6 +62,12 @@ class GrapheneMitigation : public Mitigation
 
     std::uint64_t eventsTriggered() const override { return triggers_; }
 
+    /** Banks queued for an RFMpb but not yet serviced. */
+    std::size_t pendingMitigations() const override
+    {
+        return pending_.size();
+    }
+
     /** Tracked entries in @p flat_bank (testing/telemetry). */
     std::size_t trackedRows(std::uint32_t flat_bank) const
     {

@@ -147,6 +147,16 @@ class Mitigation
     /** Defense-specific mitigation events (telemetry/energy export). */
     virtual std::uint64_t eventsTriggered() const { return 0; }
 
+    /**
+     * Maintenance commands owed but not yet issued (the RFMpb FIFO
+     * backlog for queue-based defenses, 0 otherwise).  This is an
+     * architecturally visible quantity -- an attacker sharing the
+     * channel observes the same backlog through bus occupancy -- so
+     * the adaptive adversaries (attack/adversaries.h) are allowed to
+     * poll it directly instead of re-deriving it from probe latency.
+     */
+    virtual std::size_t pendingMitigations() const { return 0; }
+
     /** TB-RFM scheduler, for defenses that own one (else nullptr). */
     virtual const TbRfmScheduler *tbScheduler() const { return nullptr; }
 };

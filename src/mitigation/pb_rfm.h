@@ -49,6 +49,12 @@ class PbRfmMitigation : public Mitigation
 
     std::uint64_t eventsTriggered() const override { return triggers_; }
 
+    /** Banks queued for an RFMpb but not yet serviced. */
+    std::size_t pendingMitigations() const override
+    {
+        return pending_.size();
+    }
+
     /** Current RAA count of @p flat_bank (testing/telemetry). */
     std::uint32_t raaCount(std::uint32_t flat_bank) const
     {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/suggest.h"
+
 namespace pracleak::sim {
 
 void
@@ -145,10 +147,16 @@ ParamGrid::overrideAxis(const std::string &name,
         }
     }
     std::string known;
-    for (const auto &axis : axes_)
+    std::vector<std::string> names;
+    for (const auto &axis : axes_) {
         known += (known.empty() ? "" : ", ") + axis.name;
-    throw std::invalid_argument("ParamGrid: unknown axis '" + name +
-                                "' (have: " + known + ")");
+        names.push_back(axis.name);
+    }
+    const std::string hint = closestTo(name, names);
+    throw std::invalid_argument(
+        "ParamGrid: unknown axis '" + name + "'" +
+        (hint.empty() ? "" : " (did you mean '" + hint + "'?)") +
+        " (have: " + known + ")");
 }
 
 JsonValue

@@ -34,11 +34,15 @@
 #include <unistd.h>
 #include <vector>
 
+#include "attack/adversaries.h"
 #include "common/log.h"
+#include "mitigation/registry.h"
 #include "sim/analyze_support.h"
 #include "sim/checkpoint.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
+#include "sim/search.h"
+#include "sim/suggest.h"
 #include "sim/trace_support.h"
 #include "telemetry/fleet_status.h"
 
@@ -55,7 +59,15 @@ printUsage()
         "commands:\n"
         "  run NAME...            run scenarios ('all' runs every "
         "one)\n"
-        "  list                   list registered scenarios\n"
+        "  list                   list registered scenarios, "
+        "defenses, and attackers\n"
+        "  search SCENARIO        successive-halving attacker-knob "
+        "search against one\n"
+        "                         defense; SCENARIO supplies the "
+        "evaluation universe\n"
+        "                         (its spec/nbo/window_ms constants), "
+        "e.g.\n"
+        "                         defense_matrix_adaptive\n"
         "  merge DIR|FILE...      fuse shard/worker checkpoint "
         "journals into the\n"
         "                         result an uninterrupted single-host "
@@ -137,6 +149,34 @@ printUsage()
         "                         merged into the trace\n"
         "  --log-level LEVEL      quiet|warn|info|debug or 0-9 "
         "(default: warn)\n"
+        "\n"
+        "search options:\n"
+        "  --target-defense D     defense under attack (required; "
+        "see `pracbench list`)\n"
+        "  --attacker NAME        attacker whose knobs are walked "
+        "(default: the\n"
+        "                         defense-matched adversary)\n"
+        "  --budget N             candidate configurations, "
+        "including the oblivious\n"
+        "                         baseline (default: the scenario's "
+        "'budget' constant)\n"
+        "  --rounds N             successive-halving rounds; the "
+        "last runs the full\n"
+        "                         window (default: the scenario's "
+        "'rounds' constant)\n"
+        "  --seed S               candidate-sampling seed\n"
+        "  --set attacker.K=V     pin knob K (aggressors, pool_size, "
+        "burst_spacing,\n"
+        "                         phase) instead of sampling it; "
+        "--set attacker=NAME\n"
+        "                         is an alias for --attacker\n"
+        "  --out FILE.json        write the search result JSON "
+        "(default: stdout)\n"
+        "  --jobs/--checkpoint/--resume/--quiet  as for run; the "
+        "result is\n"
+        "                         byte-identical at any jobs width "
+        "and across a\n"
+        "                         kill + --resume cycle\n"
         "\n"
         "merge options:\n"
         "  --scenario NAME        merge only NAME's journals from "
@@ -250,48 +290,6 @@ prepareOutputDir(const std::string &base, const char *extension,
         return false;
     }
     return true;
-}
-
-/** Classic dynamic-programming edit distance (for typo hints). */
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diagonal = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t previous = row[j];
-            row[j] = std::min(
-                {row[j] + 1, row[j - 1] + 1,
-                 diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diagonal = previous;
-        }
-    }
-    return row[b.size()];
-}
-
-/** The closest candidate when plausibly a typo of @p word, else "". */
-std::string
-closestTo(const std::string &word,
-          const std::vector<std::string> &candidates)
-{
-    std::string best;
-    std::size_t bestDistance = word.size();
-    for (const std::string &candidate : candidates) {
-        const std::size_t distance = editDistance(word, candidate);
-        if (distance < bestDistance) {
-            bestDistance = distance;
-            best = candidate;
-        }
-    }
-    // A hint further than ~a third of the word away confuses more
-    // than it helps.
-    if (bestDistance > std::max<std::size_t>(2, word.size() / 3))
-        return "";
-    return best;
 }
 
 /** "unknown X 'word' (did you mean 'hint'?)" on stderr; exits 2. */
@@ -487,6 +485,19 @@ commandList(const std::vector<std::string> &args)
                     scenario->grid.size(), tags.c_str());
         std::printf("    %s\n", scenario->title.c_str());
     }
+
+    std::printf("\n%-28s %s\n", "mitigation", "description");
+    for (const pracleak::MitigationInfo &info :
+         pracleak::mitigationCatalog())
+        std::printf("%-28s %s\n", info.name, info.description);
+
+    std::printf("\n%-28s %-10s %s\n", "attacker", "tuned-for",
+                "description");
+    for (const pracleak::AttackerInfo &info :
+         pracleak::attackerCatalog())
+        std::printf("%-28s %-10s %s\n", info.name,
+                    info.targetDefense[0] ? info.targetDefense : "-",
+                    info.description);
     return 0;
 }
 
@@ -637,6 +648,222 @@ commandRun(const std::vector<std::string> &args)
             std::fprintf(stderr, "pracbench: %s\n", error.what());
             return 2;
         }
+    }
+    return 0;
+}
+
+/**
+ * `pracbench search SCENARIO --target-defense D [--budget N ...]`:
+ * run the successive-halving attacker search (sim/search.h).  The
+ * named scenario supplies the evaluation universe -- its single-value
+ * spec/nbo/window_ms (and budget/rounds/seed/attacker) constants seed
+ * the defaults; explicit flags override them.
+ */
+int
+commandSearch(const std::vector<std::string> &args)
+{
+    std::string scenarioName;
+    std::string targetDefense;
+    std::string attackerFlag;
+    std::string checkpointDir;
+    std::string outJson;
+    pracleak::AttackerConfig base;
+    long budget = -1;
+    long rounds = -1;
+    long long seedValue = -1;
+    int jobs = -1;
+    bool resume = false;
+    bool quiet = false;
+    static const std::vector<std::string> known = {
+        "--target-defense", "--attacker", "--budget",
+        "--rounds",         "--seed",     "--jobs",
+        "--checkpoint",     "--resume",   "--out",
+        "--set",            "--quiet",    "--help"};
+    static const std::vector<std::string> knownSetKeys = {
+        "attacker", "attacker.aggressors", "attacker.pool_size",
+        "attacker.burst_spacing", "attacker.phase"};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--target-defense") {
+            targetDefense = nextValue(args, i, arg);
+        } else if (arg == "--attacker") {
+            attackerFlag = nextValue(args, i, arg);
+        } else if (arg == "--budget") {
+            budget = std::strtol(nextValue(args, i, arg).c_str(),
+                                 nullptr, 10);
+        } else if (arg == "--rounds") {
+            rounds = std::strtol(nextValue(args, i, arg).c_str(),
+                                 nullptr, 10);
+        } else if (arg == "--seed") {
+            seedValue = std::strtoll(
+                nextValue(args, i, arg).c_str(), nullptr, 0);
+        } else if (arg == "--jobs" || arg == "-j") {
+            jobs = static_cast<int>(std::strtol(
+                nextValue(args, i, arg).c_str(), nullptr, 10));
+        } else if (arg == "--checkpoint") {
+            checkpointDir = nextValue(args, i, arg);
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--out" || arg == "-o") {
+            outJson = nextValue(args, i, arg);
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--set") {
+            const std::string spec = nextValue(args, i, arg);
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr,
+                             "pracbench: --set expects KEY=VALUE\n");
+                return 2;
+            }
+            const std::string key = spec.substr(0, eq);
+            const std::string value = spec.substr(eq + 1);
+            if (key == "attacker") {
+                attackerFlag = value;
+            } else if (key == "attacker.aggressors" ||
+                       key == "attacker.pool_size" ||
+                       key == "attacker.burst_spacing" ||
+                       key == "attacker.phase") {
+                const auto parsed = static_cast<std::uint32_t>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+                if (key == "attacker.aggressors")
+                    base.aggressors = parsed;
+                else if (key == "attacker.pool_size")
+                    base.poolSize = parsed;
+                else if (key == "attacker.burst_spacing")
+                    base.burstSpacing = parsed;
+                else
+                    base.phase = parsed;
+            } else {
+                rejectUnknown("search --set key", key, knownSetKeys);
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            rejectUnknown("option for `search`", arg, known);
+        } else if (scenarioName.empty()) {
+            scenarioName = arg;
+        } else {
+            std::fprintf(stderr,
+                         "pracbench: search takes exactly one "
+                         "scenario name\n");
+            return 2;
+        }
+    }
+
+    if (scenarioName.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: search needs a scenario name "
+                     "(e.g. defense_matrix_adaptive); try "
+                     "`pracbench list`\n");
+        return 2;
+    }
+    const ScenarioRegistry &registry = ScenarioRegistry::instance();
+    const Scenario *scenario = registry.find(scenarioName);
+    if (!scenario) {
+        std::vector<std::string> knownNames;
+        for (const Scenario *entry : registry.all())
+            knownNames.push_back(entry->name);
+        rejectUnknown("scenario", scenarioName, knownNames);
+    }
+    if (targetDefense.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: search requires --target-defense "
+                     "(see `pracbench list`)\n");
+        return 2;
+    }
+    if (!pracleak::findMitigation(targetDefense))
+        rejectUnknown("defense", targetDefense,
+                      pracleak::mitigationNames());
+    if (!attackerFlag.empty() && attackerFlag != "auto" &&
+        !pracleak::findAttacker(attackerFlag))
+        rejectUnknown("attacker", attackerFlag,
+                      pracleak::attackerNames());
+    if (resume && checkpointDir.empty()) {
+        std::fprintf(stderr,
+                     "pracbench: --resume requires --checkpoint\n");
+        return 2;
+    }
+    if (!outJson.empty() && !endsWith(outJson, ".json")) {
+        std::fprintf(stderr,
+                     "pracbench: search --out must be a .json file "
+                     "path\n");
+        return 2;
+    }
+    if (!prepareOutputDir(outJson, ".json", /*single=*/true) ||
+        !prepareOutputDir(checkpointDir, ".jsonl",
+                          /*single=*/false))
+        return 2;
+
+    SearchOptions options;
+    options.targetDefense = targetDefense;
+    options.base = base;
+    options.checkpointDir = checkpointDir;
+    options.resume = resume;
+    // Scenario constants seed the defaults...
+    const auto singleValue =
+        [&scenario](const char *name) -> const JsonValue * {
+        const ParamAxis *axis = scenario->grid.findAxis(name);
+        return axis && axis->values.size() == 1 ? &axis->values[0]
+                                                : nullptr;
+    };
+    if (const JsonValue *value = singleValue("spec"))
+        options.specName = value->asString();
+    if (const JsonValue *value = singleValue("nbo"))
+        options.nbo =
+            static_cast<std::uint32_t>(value->asInt());
+    if (const JsonValue *value = singleValue("window_ms"))
+        options.windowMs = value->asDouble();
+    if (const JsonValue *value = singleValue("budget"))
+        options.budget =
+            static_cast<std::uint32_t>(value->asInt());
+    if (const JsonValue *value = singleValue("rounds"))
+        options.rounds =
+            static_cast<std::uint32_t>(value->asInt());
+    if (const JsonValue *value = singleValue("seed"))
+        options.seed =
+            static_cast<std::uint64_t>(value->asInt());
+    if (const JsonValue *value = singleValue("attacker"))
+        if (value->asString() != "auto")
+            options.attacker = value->asString();
+    // ... and explicit flags override them.
+    if (!attackerFlag.empty())
+        options.attacker =
+            attackerFlag == "auto" ? "" : attackerFlag;
+    if (budget >= 0)
+        options.budget = static_cast<std::uint32_t>(budget);
+    if (rounds >= 0)
+        options.rounds = static_cast<std::uint32_t>(rounds);
+    if (seedValue >= 0)
+        options.seed = static_cast<std::uint64_t>(seedValue);
+    if (jobs >= 0)
+        options.jobs = jobs;
+
+    try {
+        const SearchResult result = runAttackerSearch(options);
+        const std::string text = result.toJson().dump(2) + "\n";
+        if (outJson.empty()) {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            if (!writeFileAtomic(outJson, text))
+                return 1;
+            std::fprintf(stderr, "pracbench: wrote %s\n",
+                         outJson.c_str());
+        }
+        if (!quiet)
+            std::fprintf(
+                stderr,
+                "pracbench: search vs %s: best %s max_counter=%u "
+                "(oblivious %u, contract %u)\n",
+                options.targetDefense.c_str(),
+                result.best.config.attacker.c_str(),
+                static_cast<unsigned>(result.best.maxCounter),
+                static_cast<unsigned>(result.oblivious.maxCounter),
+                static_cast<unsigned>(result.contract));
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "pracbench: %s\n", error.what());
+        return 2;
     }
     return 0;
 }
@@ -1059,6 +1286,8 @@ main(int argc, char **argv)
         return commandList(args);
     if (command == "run")
         return commandRun(args);
+    if (command == "search")
+        return commandSearch(args);
     if (command == "merge")
         return commandMerge(args);
     if (command == "record")
@@ -1070,6 +1299,6 @@ main(int argc, char **argv)
     if (command == "status")
         return commandStatus(args);
     rejectUnknown("command", command,
-                  {"run", "list", "merge", "record", "replay",
-                   "analyze", "status", "help"});
+                  {"run", "list", "search", "merge", "record",
+                   "replay", "analyze", "status", "help"});
 }

@@ -238,7 +238,12 @@ attackQueue(QueueKind queue, std::uint32_t nbo, double window_scale)
         maxActsPerTrefw(window_ns, fp) / act_w, 2048));
 
     AttackHarness harness(spec, config);
-    FeintingAgent attacker(harness.mem(), pool, 5000);
+    // Registry-style construction: the pool is pinned explicitly
+    // because it is sized to the (window-scaled) TB-RFM window above,
+    // not the default TB-RFM-safe cadence.
+    AttackerConfig attacker_config;
+    attacker_config.poolSize = pool;
+    FeintingAgent attacker(harness.mem(), attacker_config);
     harness.add(&attacker);
     harness.run(config.tbRfm.windowCycles * (pool + 16));
 

@@ -75,14 +75,22 @@ characterizeAbo(std::uint32_t nbo, std::uint32_t nmit, bool with_victim,
     config.prac.queue = QueueKind::Ideal; // UPRAC, as in the paper
     config.refreshEnabled = false;        // isolate ABO effects
     AttackHarness harness(spec, config);
-    const AddressMapper &mapper = harness.mem().mapper();
 
-    ProbeAgent probe(mapper.compose(DramAddress{0, 0, 0, 3, 0}));
-    const DramAddress target{0, 4, 2, 0x100, 0};
-    std::vector<DramAddress> decoys;
-    for (std::uint32_t i = 0; i < 4; ++i)
-        decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
-    HammerAgent victim(mapper, target, decoys);
+    // Registry-style construction (attack/adversaries.h): flat bank
+    // 18 is (rank 0, group 4, bank 2); burstSpacing doubles as the
+    // decoy row stride, so 4 decoys at 0x100+0x100+i = 0x200..0x203
+    // -- the exact layout the figure has always used.
+    AttackerConfig probe_config;
+    probe_config.targetBank = 0;
+    probe_config.targetRow = 3;
+    ProbeAgent probe(harness.mem(), probe_config);
+
+    AttackerConfig victim_config;
+    victim_config.targetBank = 18;
+    victim_config.targetRow = 0x100;
+    victim_config.poolSize = 4;
+    victim_config.burstSpacing = 0x100;
+    HammerAgent victim(harness.mem(), victim_config);
 
     harness.add(&probe);
     harness.add(&victim);

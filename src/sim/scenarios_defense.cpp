@@ -39,6 +39,7 @@
 #include "sim/analyze_support.h"
 #include "sim/design.h"
 #include "sim/scenario_util.h"
+#include "sim/search.h"
 #include "telemetry/timeseries.h"
 #include "tprac/analysis.h"
 
@@ -85,18 +86,26 @@ runLeakExperiment(const std::string &defense,
     configureDefense(config, defense, spec);
 
     AttackHarness harness(spec, config);
-    const AddressMapper &mapper = harness.mem().mapper();
 
-    // Victim hammers bank (rank 0, bg 4, bank 2); the near probe
-    // shares that bank (per-bank RFMs block it), the far probe sits
-    // in a distant bank (only channel-wide RFMabs reach it).
-    const DramAddress target{0, 4, 2, 0x100, 0};
-    std::vector<DramAddress> decoys;
-    for (std::uint32_t i = 0; i < 4; ++i)
-        decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
-    HammerAgent victim(mapper, target, decoys);
-    ProbeAgent near_probe(mapper.compose(DramAddress{0, 4, 2, 3, 0}));
-    ProbeAgent far_probe(mapper.compose(DramAddress{0, 0, 0, 3, 0}));
+    // Victim hammers flat bank 18 = (rank 0, bg 4, bank 2); the near
+    // probe shares that bank (per-bank RFMs block it), the far probe
+    // sits in a distant bank (only channel-wide RFMabs reach it).
+    // Registry-style construction: burstSpacing doubles as the decoy
+    // row stride, so 4 decoys land at 0x200..0x203 as before.
+    AttackerConfig victim_config;
+    victim_config.targetBank = 18;
+    victim_config.targetRow = 0x100;
+    victim_config.poolSize = 4;
+    victim_config.burstSpacing = 0x100;
+    HammerAgent victim(harness.mem(), victim_config);
+    AttackerConfig near_config;
+    near_config.targetBank = 18;
+    near_config.targetRow = 3;
+    ProbeAgent near_probe(harness.mem(), near_config);
+    AttackerConfig far_config;
+    far_config.targetBank = 0;
+    far_config.targetRow = 3;
+    ProbeAgent far_probe(harness.mem(), far_config);
 
     harness.add(&victim);
     harness.add(&near_probe);
@@ -377,18 +386,24 @@ leakageTimeline()
             bus = local.get();
         }
 
-        const AddressMapper &mapper = mem.mapper();
-        const DramAddress target{0, 4, 2, 0x100, 0};
-        const std::uint32_t victim_bank = mapper.flatBank(target);
-        telemetry::SeriesCapture::setVictimBank(victim_bank);
-        std::vector<DramAddress> decoys;
-        for (std::uint32_t i = 0; i < 4; ++i)
-            decoys.push_back(DramAddress{0, 4, 2, 0x200 + i, 0});
-        HammerAgent victim(mapper, target, decoys);
-        ProbeAgent near_probe(
-            mapper.compose(DramAddress{0, 4, 2, 3, 0}));
-        ProbeAgent far_probe(
-            mapper.compose(DramAddress{0, 0, 0, 3, 0}));
+        // Same flat-bank-18 layout as runLeakExperiment, built
+        // through the attacker registry's config path.
+        AttackerConfig victim_config;
+        victim_config.targetBank = 18;
+        victim_config.targetRow = 0x100;
+        victim_config.poolSize = 4;
+        victim_config.burstSpacing = 0x100;
+        telemetry::SeriesCapture::setVictimBank(
+            victim_config.targetBank);
+        HammerAgent victim(mem, victim_config);
+        AttackerConfig near_config;
+        near_config.targetBank = 18;
+        near_config.targetRow = 3;
+        ProbeAgent near_probe(mem, near_config);
+        AttackerConfig far_config;
+        far_config.targetBank = 0;
+        far_config.targetRow = 3;
+        ProbeAgent far_probe(mem, far_config);
         harness.add(&victim);
         harness.add(&near_probe);
         harness.add(&far_probe);
@@ -420,7 +435,7 @@ leakageTimeline()
         sim.label = params.label();
         sim.mitigation = defense;
         sim.windowCycles = bus->windowCycles();
-        sim.victimBank = victim_bank;
+        sim.victimBank = victim_config.targetBank;
         sim.onWindows = on_windows;
         for (const telemetry::SeriesWindow &w : bus->windows()) {
             SeriesSim::Window window;
@@ -639,7 +654,14 @@ defenseMatrixSecurity()
         .axis("attack", {"hammer", "feinting"})
         .constant("spec", "ddr5-8000b")
         .constant("nbo", 512)
-        .constant("window_ms", 4.0);    //!< total attack duration
+        .constant("window_ms", 4.0)     //!< total attack duration
+        // Attacker knob sub-keys (0 = derive from spec/defense), so
+        // `--set attack=para-retry --set attacker.aggressors=4`
+        // reproduces any point of a search by hand.
+        .constant("attacker.aggressors", 0)
+        .constant("attacker.pool_size", 0)
+        .constant("attacker.burst_spacing", 0)
+        .constant("attacker.phase", 0);
 
     scenario.runPoint = [](const ParamSet &params) {
         const std::string defense = params.getString("mitigation");
@@ -660,39 +682,25 @@ defenseMatrixSecurity()
         const Cycle end =
             nsToCycles(params.getDouble("window_ms") * 1.0e6);
 
-        if (attack == "feinting") {
-            // Decoy pool sized for the TB-RFM-safe cadence: the
-            // mitigation-bandwidth-wasting stressor the TB-Window
-            // analysis is built against.
-            const FeintingParams fp = FeintingParams::fromSpec(spec);
-            const double cadence_ns =
-                std::max(maxSafeWindowNs(nbo, true, fp), fp.trcNs);
-            const std::uint64_t act_w = std::max<std::uint64_t>(
-                actsPerWindow(cadence_ns, fp), 1);
-            const auto pool = static_cast<std::uint32_t>(
-                std::min<std::uint64_t>(
-                    maxActsPerTrefw(cadence_ns, fp) / act_w, 2048));
-            FeintingAgent attacker(harness.mem(), pool, 5000);
-            harness.add(&attacker);
-            harness.run(end);
-        } else {
-            // Direct hammer: alternate the target with same-bank
-            // decoys so every target read costs one real ACT -- the
-            // optimal attack against defenses that never mitigate.
-            const DramAddress target{0, 0, 0, 5000, 0};
-            const std::vector<DramAddress> decoys{
-                DramAddress{0, 0, 0, 6000, 0},
-                DramAddress{0, 0, 0, 6001, 0}};
-            HammerAgent attacker(harness.mem().mapper(), target,
-                                 decoys);
-            harness.add(&attacker);
-            while (harness.now() < end) {
-                if (attacker.done())
-                    attacker.startHammer(spec.prac.nbo +
-                                         spec.prac.aboAct + 4);
-                harness.step();
-            }
-        }
+        // Registry construction: a default AttackerConfig reproduces
+        // the historical hand-built agents stream-for-stream
+        // ("feinting" derives its TB-RFM-safe decoy pool, "hammer"
+        // alternates the row-5000 target with the 6000/6001 decoys
+        // and restarts each NBO+ABOACT+4 burst).  The axis also
+        // accepts any other registered attacker via --set attack=.
+        AttackerConfig attacker_config;
+        attacker_config.aggressors = static_cast<std::uint32_t>(
+            params.getInt("attacker.aggressors"));
+        attacker_config.poolSize = static_cast<std::uint32_t>(
+            params.getInt("attacker.pool_size"));
+        attacker_config.burstSpacing = static_cast<std::uint32_t>(
+            params.getInt("attacker.burst_spacing"));
+        attacker_config.phase = static_cast<std::uint32_t>(
+            params.getInt("attacker.phase"));
+        const std::unique_ptr<AttackerAgent> attacker =
+            attackerByName(attack, attacker_config, harness.mem());
+        harness.add(attacker.get());
+        harness.run(end);
 
         const MemoryController &mem = harness.mem();
         const std::uint32_t max_counter =
@@ -755,11 +763,124 @@ defenseMatrixSecurity()
     return scenario;
 }
 
+// --- defense_matrix_adaptive ---------------------------------------
+
+Scenario
+defenseMatrixAdaptive()
+{
+    Scenario scenario;
+    scenario.name = "defense_matrix_adaptive";
+    scenario.checkpointEvery = 1;
+    scenario.tags = {"defense", "security", "search"};
+    scenario.title = "Best-known-attack table: searched per-defense "
+                     "adversary vs the oblivious stressor (scaled "
+                     "2 ms tREFW)";
+    scenario.notes = "each row runs a successive-halving attacker "
+                     "search (sim/search.h) against one defense; "
+                     "searched_max >= oblivious_max by construction "
+                     "because the oblivious baseline is candidate 0 "
+                     "and is never eliminated.  attacker='auto' "
+                     "resolves the defense-matched adversary; "
+                     "non-zero attacker.* constants pin that knob "
+                     "instead of sampling it";
+    scenario.grid
+        .axis("mitigation", toValues({"graphene", "para", "pb-rfm"}))
+        .constant("spec", "ddr5-8000b")
+        .constant("nbo", 512)
+        .constant("window_ms", 4.0)
+        .constant("attacker", "auto")
+        .constant("budget", 6)
+        .constant("rounds", 2)
+        .constant("seed", 0x5EA2C4)
+        .constant("attacker.aggressors", 0)
+        .constant("attacker.pool_size", 0)
+        .constant("attacker.burst_spacing", 0)
+        .constant("attacker.phase", 0);
+
+    scenario.runPoint = [](const ParamSet &params) {
+        SearchOptions options;
+        options.targetDefense = params.getString("mitigation");
+        const std::string attacker = params.getString("attacker");
+        options.attacker = attacker == "auto" ? "" : attacker;
+        options.budget =
+            static_cast<std::uint32_t>(params.getInt("budget"));
+        options.rounds =
+            static_cast<std::uint32_t>(params.getInt("rounds"));
+        options.seed =
+            static_cast<std::uint64_t>(params.getInt("seed"));
+        options.specName = params.getString("spec");
+        options.nbo =
+            static_cast<std::uint32_t>(params.getInt("nbo"));
+        options.windowMs = params.getDouble("window_ms");
+        options.base.aggressors = static_cast<std::uint32_t>(
+            params.getInt("attacker.aggressors"));
+        options.base.poolSize = static_cast<std::uint32_t>(
+            params.getInt("attacker.pool_size"));
+        options.base.burstSpacing = static_cast<std::uint32_t>(
+            params.getInt("attacker.burst_spacing"));
+        options.base.phase = static_cast<std::uint32_t>(
+            params.getInt("attacker.phase"));
+        // Inline, serial, unjournalled: the outer sweep runner owns
+        // checkpointing and parallelism for this scenario.
+        options.jobs = 1;
+
+        const SearchResult result = runAttackerSearch(options);
+
+        ResultRow row = JsonValue::object();
+        row.set("searched_attacker", result.best.config.attacker);
+        row.set("searched_max", static_cast<std::int64_t>(
+                                    result.best.maxCounter));
+        row.set("searched_secure", result.best.secure);
+        row.set("oblivious_max", static_cast<std::int64_t>(
+                                     result.oblivious.maxCounter));
+        row.set("oblivious_secure", result.oblivious.secure);
+        row.set("contract",
+                static_cast<std::int64_t>(result.contract));
+        row.set("advantage",
+                static_cast<std::int64_t>(result.best.maxCounter) -
+                    static_cast<std::int64_t>(
+                        result.oblivious.maxCounter));
+        row.set("best_aggressors", static_cast<std::int64_t>(
+                                       result.best.config.aggressors));
+        row.set("best_pool_size", static_cast<std::int64_t>(
+                                      result.best.config.poolSize));
+        row.set("best_burst_spacing",
+                static_cast<std::int64_t>(
+                    result.best.config.burstSpacing));
+        row.set("best_phase", static_cast<std::int64_t>(
+                                  result.best.config.phase));
+        return std::vector<ResultRow>{std::move(row)};
+    };
+
+    scenario.summarize = [](const std::vector<ResultRow> &rows) {
+        // The best-known-attack table: one verdict per defense.
+        std::vector<ResultRow> out;
+        for (const ResultRow &row : rows) {
+            ResultRow summary = JsonValue::object();
+            summary.set("mitigation",
+                        row.get("mitigation")->asString());
+            summary.set("searched_attacker",
+                        row.get("searched_attacker")->asString());
+            summary.set("oblivious_max",
+                        row.get("oblivious_max")->asInt());
+            summary.set("searched_max",
+                        row.get("searched_max")->asInt());
+            summary.set("advantage", row.get("advantage")->asInt());
+            summary.set("secure_vs_searched",
+                        row.get("searched_secure")->asBool());
+            out.push_back(std::move(summary));
+        }
+        return out;
+    };
+    return scenario;
+}
+
 } // namespace
 
 void
 registerDefenseScenarios(ScenarioRegistry &registry)
 {
+    registry.add(defenseMatrixAdaptive());
     registry.add(defenseMatrixLeakage());
     registry.add(defenseMatrixPerf());
     registry.add(defenseMatrixSecurity());

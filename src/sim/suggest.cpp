@@ -1,0 +1,45 @@
+#include "sim/suggest.h"
+
+#include <algorithm>
+
+namespace pracleak::sim {
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t previous = row[j];
+            row[j] = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diagonal = previous;
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+closestTo(const std::string &word,
+          const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t bestDistance = word.size();
+    for (const std::string &candidate : candidates) {
+        const std::size_t distance = editDistance(word, candidate);
+        if (distance < bestDistance) {
+            bestDistance = distance;
+            best = candidate;
+        }
+    }
+    if (bestDistance > std::max<std::size_t>(2, word.size() / 3))
+        return "";
+    return best;
+}
+
+} // namespace pracleak::sim

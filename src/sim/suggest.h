@@ -1,0 +1,34 @@
+/**
+ * @file
+ * "Did you mean ...?" typo hints shared by every name-keyed surface.
+ *
+ * The CLI (subcommands, flags, scenario names), the parameter grid
+ * (`--set` axis names), and the attacker/defense registries all
+ * reject unknown strings; a single Levenshtein helper keeps the hint
+ * behaviour identical everywhere instead of three private copies
+ * drifting apart.
+ */
+
+#ifndef PRACLEAK_SIM_SUGGEST_H
+#define PRACLEAK_SIM_SUGGEST_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pracleak::sim {
+
+/** Classic dynamic-programming edit distance (for typo hints). */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The closest candidate when plausibly a typo of @p word, else "".
+ * A hint further than ~a third of the word away confuses more than
+ * it helps.
+ */
+std::string closestTo(const std::string &word,
+                      const std::vector<std::string> &candidates);
+
+} // namespace pracleak::sim
+
+#endif // PRACLEAK_SIM_SUGGEST_H

@@ -200,9 +200,10 @@ TEST(ScenarioRegistry, BuiltinsCoverEveryFigureAndTable)
         "ablation_obfuscation", "ablation_queues", "ablation_rfmpb",
         "perf_channel_sweep", "sidechannel_cross_channel",
         "covert_channel_parallel", "fastforward_benchmark",
-        "defense_matrix_leakage", "defense_matrix_perf",
-        "defense_matrix_security", "trace_replay_defense_sweep",
-        "eventqueue_benchmark", "leakage_timeline"};
+        "defense_matrix_adaptive", "defense_matrix_leakage",
+        "defense_matrix_perf", "defense_matrix_security",
+        "trace_replay_defense_sweep", "eventqueue_benchmark",
+        "leakage_timeline"};
     EXPECT_EQ(registry.size(), std::size(names));
     for (const char *name : names)
         EXPECT_NE(registry.find(name), nullptr) << name;
